@@ -1,0 +1,57 @@
+// Command datagen materializes the synthetic stand-ins for the paper's 20
+// evaluation datasets as raw big-endian float64 files.
+//
+// Usage:
+//
+//	datagen -dir ./data -n 524288            # all 20 datasets
+//	datagen -dir ./data -name gts_phi_l      # one dataset
+//	datagen -list                            # describe the datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"primacy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	var (
+		dir  = flag.String("dir", ".", "output directory")
+		n    = flag.Int("n", 0, "elements per dataset (0 = default 512Ki)")
+		name = flag.String("name", "", "generate only this dataset")
+		list = flag.Bool("list", false, "list datasets and exit")
+	)
+	flag.Parse()
+
+	specs := primacy.Datasets()
+	if *list {
+		for _, s := range specs {
+			fmt.Printf("%-15s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+	if *name != "" {
+		s, ok := primacy.DatasetByName(*name)
+		if !ok {
+			log.Fatalf("unknown dataset %q", *name)
+		}
+		specs = []primacy.DatasetSpec{s}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range specs {
+		raw := s.GenerateBytes(*n)
+		path := filepath.Join(*dir, s.Name+".f64")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d bytes\n", path, len(raw))
+	}
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"primacy"
+)
+
+// cli holds the parsed command configuration; separated from main so the
+// tool's behaviour is unit-testable without exec.
+type cli struct {
+	compress   bool
+	decompress bool
+	showStats  bool
+	out        string
+	solverName string
+	chunk      int
+	workers    int
+	rowLin     bool
+	identity   bool
+	noISOBAR   bool
+	reuseIndex bool
+	float32el  bool
+	input      string
+}
+
+// parseArgs builds a cli from argv (excluding the program name).
+func parseArgs(args []string) (*cli, error) {
+	fs := flag.NewFlagSet("primacy", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c := &cli{}
+	fs.BoolVar(&c.compress, "c", false, "compress the input file")
+	fs.BoolVar(&c.decompress, "d", false, "decompress the input file")
+	fs.BoolVar(&c.showStats, "stats", false, "compress and print model statistics without writing output")
+	fs.StringVar(&c.out, "o", "", "output file (default: input + .prm, or stripped on -d)")
+	fs.StringVar(&c.solverName, "solver", "zlib", "solver: zlib, lzo, bzlib, none")
+	fs.IntVar(&c.chunk, "chunk", 0, "chunk size in bytes (default 3 MiB)")
+	fs.IntVar(&c.workers, "workers", 0, "parallel workers (0 = all cores; 1 = sequential container)")
+	fs.BoolVar(&c.rowLin, "rows", false, "row linearization (ablation; default columns)")
+	fs.BoolVar(&c.identity, "identity", false, "identity ID mapping (ablation; default ranked)")
+	fs.BoolVar(&c.noISOBAR, "no-isobar", false, "compress all mantissa bytes (ablation)")
+	fs.BoolVar(&c.reuseIndex, "reuse-index", false, "emit indexes only on distribution shift")
+	fs.BoolVar(&c.float32el, "f32", false, "treat input as float32 elements")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("exactly one input file required (got %d)", fs.NArg())
+	}
+	c.input = fs.Arg(0)
+	if c.showStats {
+		c.compress = true
+	}
+	if c.compress == c.decompress {
+		return nil, errors.New("exactly one of -c / -d (or -stats) required")
+	}
+	return c, nil
+}
+
+func (c *cli) options() primacy.Options {
+	opts := primacy.Options{
+		Solver:        c.solverName,
+		ChunkBytes:    c.chunk,
+		DisableISOBAR: c.noISOBAR,
+	}
+	if c.rowLin {
+		opts.Linearization = primacy.LinearizeRows
+	}
+	if c.identity {
+		opts.Mapping = primacy.MapIdentity
+	}
+	if c.reuseIndex {
+		opts.IndexMode = primacy.IndexReuse
+	}
+	if c.float32el {
+		opts.Precision = primacy.Float32
+	}
+	return opts
+}
+
+// run executes the parsed command, writing human output to w.
+func (c *cli) run(w io.Writer) error {
+	data, err := os.ReadFile(c.input)
+	if err != nil {
+		return err
+	}
+	if c.compress {
+		return c.runCompress(w, data)
+	}
+	return c.runDecompress(w, data)
+}
+
+func (c *cli) runCompress(w io.Writer, data []byte) error {
+	opts := c.options()
+	if c.showStats {
+		_, stats, err := primacy.CompressWithStats(data, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "raw bytes:        %d\n", stats.RawBytes)
+		fmt.Fprintf(w, "compressed bytes: %d\n", stats.CompressedBytes)
+		fmt.Fprintf(w, "compression ratio: %.4f\n", stats.Ratio())
+		fmt.Fprintf(w, "chunks: %d  indexes emitted: %d  index bytes: %d\n",
+			stats.Chunks, stats.IndexesEmitted, stats.IndexBytes)
+		fmt.Fprintf(w, "alpha1=%.3f alpha2=%.3f sigma_ho=%.4f sigma_lo=%.4f\n",
+			stats.Alpha1, stats.Alpha2, stats.SigmaHo, stats.SigmaLo)
+		fmt.Fprintf(w, "preconditioner: %.1f MB/s  solver: %.1f MB/s\n",
+			stats.PrecThroughput()/1e6, stats.SolverThroughput()/1e6)
+		return nil
+	}
+	var enc []byte
+	var err error
+	if c.workers == 1 {
+		enc, err = primacy.Compress(data, opts)
+	} else {
+		enc, err = primacy.ParallelCompress(data, primacy.ParallelOptions{Core: opts, Workers: c.workers})
+	}
+	if err != nil {
+		return err
+	}
+	out := c.out
+	if out == "" {
+		out = c.input + ".prm"
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	ratio := float64(len(data)) / float64(len(enc))
+	fmt.Fprintf(w, "%s: %d -> %d bytes (%.3fx)\n", out, len(data), len(enc), ratio)
+	return nil
+}
+
+func (c *cli) runDecompress(w io.Writer, data []byte) error {
+	// Parallel containers start with "PRP1", sequential with "PRM1".
+	var dec []byte
+	var err error
+	if len(data) >= 4 && string(data[:4]) == "PRP1" {
+		dec, err = primacy.ParallelDecompress(data, primacy.ParallelOptions{Workers: c.workers})
+	} else {
+		dec, err = primacy.Decompress(data)
+	}
+	if err != nil {
+		return err
+	}
+	out := c.out
+	if out == "" {
+		if n := len(c.input); n > 4 && c.input[n-4:] == ".prm" {
+			out = c.input[:n-4]
+		} else {
+			out = c.input + ".out"
+		}
+	}
+	if err := os.WriteFile(out, dec, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d -> %d bytes\n", out, len(data), len(dec))
+	return nil
+}

@@ -1,0 +1,26 @@
+// Command primacy compresses and decompresses files of floating-point data
+// with the PRIMACY preconditioner pipeline.
+//
+// Usage:
+//
+//	primacy -c [-solver zlib] [-chunk 3145728] [-workers N] [-o out.prm] input.f64
+//	primacy -d [-workers N] [-o out.f64] input.prm
+//	primacy -stats input.f64
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("primacy: ")
+	c, err := parseArgs(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module primacy
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package archive is a multi-variable, multi-timestep container over the
+// PRIMACY codec — the role an ADIOS-style I/O library plays for the paper's
+// applications: a simulation writes named variables every output step, and
+// analysis later opens the file and reads one variable at one timestep
+// without touching the rest.
+//
+// File layout:
+//
+//	"PAR1" | entry* | TOC | u64 tocOffset | "PAR1"
+//	entry  = PRIMACY container (one variable at one timestep)
+//	TOC    = u32 count | count × (u16 nameLen | name | u32 step |
+//	         u64 offset | u64 length | u64 rawLen)
+//
+// The table of contents sits at the end so entries stream out as they are
+// produced; the trailing magic+offset makes the file self-locating.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"primacy/internal/core"
+)
+
+const magic = "PAR1"
+
+// ErrCorrupt indicates a malformed archive.
+var ErrCorrupt = errors.New("archive: corrupt archive")
+
+// ErrNotFound indicates a missing variable/step pair.
+var ErrNotFound = errors.New("archive: entry not found")
+
+type tocEntry struct {
+	Name   string
+	Step   uint32
+	Offset uint64
+	Length uint64
+	RawLen uint64
+}
+
+// Writer appends variables to an archive. Not safe for concurrent use.
+type Writer struct {
+	dst    io.Writer
+	opts   core.Options
+	pos    uint64
+	toc    []tocEntry
+	closed bool
+}
+
+// NewWriter starts an archive on dst with the given codec options.
+func NewWriter(dst io.Writer, opts core.Options) (*Writer, error) {
+	n, err := dst.Write([]byte(magic))
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{dst: dst, opts: opts, pos: uint64(n)}, nil
+}
+
+// PutFloat64s writes one variable for one timestep.
+func (w *Writer) PutFloat64s(name string, step int, values []float64) error {
+	if w.closed {
+		return errors.New("archive: put after Close")
+	}
+	if len(name) == 0 || len(name) > 65535 {
+		return fmt.Errorf("archive: variable name length %d out of range", len(name))
+	}
+	if step < 0 {
+		return fmt.Errorf("archive: negative step %d", step)
+	}
+	for _, e := range w.toc {
+		if e.Name == name && e.Step == uint32(step) {
+			return fmt.Errorf("archive: duplicate entry %s@%d", name, step)
+		}
+	}
+	enc, err := core.CompressFloat64s(values, w.opts)
+	if err != nil {
+		return err
+	}
+	if _, err := w.dst.Write(enc); err != nil {
+		return err
+	}
+	w.toc = append(w.toc, tocEntry{
+		Name:   name,
+		Step:   uint32(step),
+		Offset: w.pos,
+		Length: uint64(len(enc)),
+		RawLen: uint64(len(values) * 8),
+	})
+	w.pos += uint64(len(enc))
+	return nil
+}
+
+// Close writes the table of contents and the trailer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	tocOffset := w.pos
+	var buf []byte
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(w.toc)))
+	buf = append(buf, u32[:]...)
+	for _, e := range w.toc {
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(e.Name)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, e.Name...)
+		binary.LittleEndian.PutUint32(u32[:], e.Step)
+		buf = append(buf, u32[:]...)
+		for _, v := range []uint64{e.Offset, e.Length, e.RawLen} {
+			binary.LittleEndian.PutUint64(u64[:], v)
+			buf = append(buf, u64[:]...)
+		}
+	}
+	binary.LittleEndian.PutUint64(u64[:], tocOffset)
+	buf = append(buf, u64[:]...)
+	buf = append(buf, magic...)
+	if _, err := w.dst.Write(buf); err != nil {
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+// Reader opens archives for random access via io.ReaderAt.
+type Reader struct {
+	src io.ReaderAt
+	toc []tocEntry
+}
+
+// NewReader parses the trailer and table of contents. size is the total
+// archive length in bytes (e.g. from os.FileInfo).
+func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
+	if size < int64(len(magic))*2+8 {
+		return nil, fmt.Errorf("%w: too small", ErrCorrupt)
+	}
+	head := make([]byte, 4)
+	if _, err := src.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad leading magic", ErrCorrupt)
+	}
+	trailer := make([]byte, 12)
+	if _, err := src.ReadAt(trailer, size-12); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(trailer[8:]) != magic {
+		return nil, fmt.Errorf("%w: bad trailing magic", ErrCorrupt)
+	}
+	tocOffset := binary.LittleEndian.Uint64(trailer[:8])
+	if tocOffset < 4 || int64(tocOffset) > size-12 {
+		return nil, fmt.Errorf("%w: TOC offset %d out of range", ErrCorrupt, tocOffset)
+	}
+	tocBytes := make([]byte, size-12-int64(tocOffset))
+	if _, err := src.ReadAt(tocBytes, int64(tocOffset)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	r := &Reader{src: src}
+	pos := 0
+	need := func(n int) error {
+		if pos+n > len(tocBytes) {
+			return fmt.Errorf("%w: truncated TOC", ErrCorrupt)
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(tocBytes[pos:]))
+	pos += 4
+	if count < 0 || count > 1<<24 {
+		return nil, fmt.Errorf("%w: %d TOC entries", ErrCorrupt, count)
+	}
+	for i := 0; i < count; i++ {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		nameLen := int(binary.LittleEndian.Uint16(tocBytes[pos:]))
+		pos += 2
+		if err := need(nameLen + 4 + 24); err != nil {
+			return nil, err
+		}
+		e := tocEntry{Name: string(tocBytes[pos : pos+nameLen])}
+		pos += nameLen
+		e.Step = binary.LittleEndian.Uint32(tocBytes[pos:])
+		pos += 4
+		e.Offset = binary.LittleEndian.Uint64(tocBytes[pos:])
+		e.Length = binary.LittleEndian.Uint64(tocBytes[pos+8:])
+		e.RawLen = binary.LittleEndian.Uint64(tocBytes[pos+16:])
+		pos += 24
+		if e.Offset < 4 || e.Offset+e.Length > tocOffset {
+			return nil, fmt.Errorf("%w: entry %s@%d range invalid", ErrCorrupt, e.Name, e.Step)
+		}
+		r.toc = append(r.toc, e)
+	}
+	if pos != len(tocBytes) {
+		return nil, fmt.Errorf("%w: %d trailing TOC bytes", ErrCorrupt, len(tocBytes)-pos)
+	}
+	return r, nil
+}
+
+// Variables lists the distinct variable names, sorted.
+func (r *Reader) Variables() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range r.toc {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Steps lists the timesteps recorded for a variable, ascending.
+func (r *Reader) Steps(name string) []int {
+	var out []int
+	for _, e := range r.toc {
+		if e.Name == name {
+			out = append(out, int(e.Step))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumEntries reports the total entry count.
+func (r *Reader) NumEntries() int { return len(r.toc) }
+
+// GetFloat64s reads one variable at one timestep.
+func (r *Reader) GetFloat64s(name string, step int) ([]float64, error) {
+	for _, e := range r.toc {
+		if e.Name == name && int(e.Step) == step {
+			enc := make([]byte, e.Length)
+			if _, err := r.src.ReadAt(enc, int64(e.Offset)); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			values, err := core.DecompressFloat64s(enc)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(values)*8) != e.RawLen {
+				return nil, fmt.Errorf("%w: %s@%d decoded to %d bytes, TOC says %d",
+					ErrCorrupt, name, step, len(values)*8, e.RawLen)
+			}
+			return values, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s@%d", ErrNotFound, name, step)
+}

@@ -1,0 +1,179 @@
+// Package bwt implements the Burrows-Wheeler transform and its inverse.
+// It is the decorrelation stage of the bzlib-style block compressor.
+//
+// The forward transform sorts all cyclic rotations of the block using
+// Manber-Myers prefix doubling with counting sorts (O(n log n), no suffix
+// sentinel needed because ranks are computed modulo the block length).
+package bwt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxBlock is the largest supported block size (indices fit int32).
+const MaxBlock = 1 << 30
+
+var (
+	// ErrBlockTooLarge indicates a block above MaxBlock.
+	ErrBlockTooLarge = errors.New("bwt: block too large")
+	// ErrBadIndex indicates a primary index outside the block.
+	ErrBadIndex = errors.New("bwt: primary index out of range")
+)
+
+// Transform computes the BWT of block. It returns the transformed bytes and
+// the primary index (the row of the sorted rotation matrix that contains the
+// original string). Empty input returns an empty output and index 0.
+func Transform(block []byte) ([]byte, int, error) {
+	n := len(block)
+	if n > MaxBlock {
+		return nil, 0, ErrBlockTooLarge
+	}
+	if n == 0 {
+		return []byte{}, 0, nil
+	}
+	if n == 1 {
+		return []byte{block[0]}, 0, nil
+	}
+	sa := sortRotations(block)
+	out := make([]byte, n)
+	primary := -1
+	for i, start := range sa {
+		if start == 0 {
+			primary = i
+			out[i] = block[n-1]
+		} else {
+			out[i] = block[start-1]
+		}
+	}
+	return out, primary, nil
+}
+
+// sortRotations returns the start offsets of the lexicographically sorted
+// cyclic rotations of block.
+func sortRotations(block []byte) []int32 {
+	n := len(block)
+	sa := make([]int32, n)   // rotation start offsets, in sorted order
+	rank := make([]int32, n) // current rank of rotation starting at i
+	tmp := make([]int32, n)
+	cnt := make([]int32, maxInt(256, n)+1)
+
+	// Initial ranks = byte values; counting sort by first byte.
+	for i := 0; i < n; i++ {
+		rank[i] = int32(block[i])
+	}
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		cnt[rank[i]+1]++
+	}
+	for i := 1; i < len(cnt); i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := 0; i < n; i++ {
+		sa[cnt[rank[i]]] = int32(i)
+		cnt[rank[i]]++
+	}
+
+	order := make([]int32, n)
+	for k := 1; k < n; k <<= 1 {
+		// Sort by (rank[i], rank[i+k mod n]) using two stable counting sorts.
+		// Pass 1: order all rotations by the rank of their second key (i+k).
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			key := rank[(int(i)+k)%n]
+			cnt[key+1]++
+		}
+		for i := 1; i < len(cnt); i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := 0; i < n; i++ {
+			key := rank[(int(i)+k)%n]
+			order[cnt[key]] = int32(i)
+			cnt[key]++
+		}
+		// Pass 2: stable counting sort of `order` by first key rank[i].
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[rank[i]+1]++
+		}
+		for i := 1; i < len(cnt); i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for _, rot := range order {
+			sa[cnt[rank[rot]]] = rot
+			cnt[rank[rot]]++
+		}
+		// Re-rank.
+		newRank := tmp
+		newRank[sa[0]] = 0
+		distinct := int32(1)
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			same := rank[a] == rank[b] &&
+				rank[(int(a)+k)%n] == rank[(int(b)+k)%n]
+			if !same {
+				distinct++
+			}
+			newRank[b] = distinct - 1
+		}
+		rank, tmp = newRank, rank
+		if distinct == int32(n) {
+			break
+		}
+	}
+	return sa
+}
+
+// Inverse reconstructs the original block from its BWT and primary index
+// using the LF mapping.
+func Inverse(bwtData []byte, primary int) ([]byte, error) {
+	n := len(bwtData)
+	if n == 0 {
+		if primary != 0 {
+			return nil, ErrBadIndex
+		}
+		return []byte{}, nil
+	}
+	if primary < 0 || primary >= n {
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadIndex, primary, n)
+	}
+	// count[b] = number of occurrences of byte b in bwtData.
+	var count [256]int
+	for _, b := range bwtData {
+		count[b]++
+	}
+	// base[b] = index of first occurrence of b in the sorted first column.
+	var base [256]int
+	sum := 0
+	for b := 0; b < 256; b++ {
+		base[b] = sum
+		sum += count[b]
+	}
+	// lf[i] maps row i to the row holding the previous character.
+	lf := make([]int32, n)
+	var seen [256]int
+	for i, b := range bwtData {
+		lf[i] = int32(base[b] + seen[b])
+		seen[b]++
+	}
+	out := make([]byte, n)
+	row := int32(primary)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = bwtData[row]
+		row = lf[row]
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,204 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, in []byte) {
+	t.Helper()
+	enc, idx, err := Transform(in)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if len(enc) != len(in) {
+		t.Fatalf("length changed: %d -> %d", len(in), len(enc))
+	}
+	dec, err := Inverse(enc, idx)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	if !bytes.Equal(dec, in) {
+		t.Fatalf("round trip mismatch:\n in=%q\nout=%q", in, dec)
+	}
+}
+
+func TestKnownBanana(t *testing.T) {
+	// Classic example: rotations of "banana".
+	enc, idx, err := Transform([]byte("banana"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted rotations: abanan(5) anaban(3) ananab(1) banana(0) nabana(4) nanaba(2)
+	// Last column: n n b a a a; primary (row of rotation 0) = 3.
+	if string(enc) != "nnbaaa" || idx != 3 {
+		t.Fatalf("banana: got %q idx=%d, want \"nnbaaa\" idx=3", enc, idx)
+	}
+	roundTrip(t, []byte("banana"))
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, []byte{})
+}
+
+func TestSingleByte(t *testing.T) {
+	roundTrip(t, []byte{42})
+}
+
+func TestAllSameByte(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{7}, 1024))
+}
+
+func TestPeriodic(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte("ab"), 500))
+	roundTrip(t, bytes.Repeat([]byte("abc"), 333))
+	roundTrip(t, bytes.Repeat([]byte{0, 0, 1}, 100))
+}
+
+func TestTextSample(t *testing.T) {
+	roundTrip(t, []byte("the quick brown fox jumps over the lazy dog, "+
+		"the quick brown fox jumps over the lazy dog again"))
+}
+
+func TestBinaryAllValues(t *testing.T) {
+	in := make([]byte, 256)
+	for i := range in {
+		in[i] = byte(i)
+	}
+	roundTrip(t, in)
+	// Reversed.
+	for i := range in {
+		in[i] = byte(255 - i)
+	}
+	roundTrip(t, in)
+}
+
+func TestRandomBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 15, 100, 4096, 1 << 16} {
+		in := make([]byte, n)
+		rng.Read(in)
+		roundTrip(t, in)
+	}
+}
+
+func TestLowEntropyBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := make([]byte, 1<<15)
+	for i := range in {
+		in[i] = byte(rng.Intn(4)) // tiny alphabet: exercises rank ties
+	}
+	roundTrip(t, in)
+}
+
+func TestInverseBadIndex(t *testing.T) {
+	if _, err := Inverse([]byte("abc"), -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := Inverse([]byte("abc"), 3); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := Inverse([]byte{}, 1); err == nil {
+		t.Fatal("nonzero index on empty input accepted")
+	}
+}
+
+func TestTransformGroupsLikeBytes(t *testing.T) {
+	// BWT of repetitive text should create longer same-byte runs than input.
+	in := bytes.Repeat([]byte("compress me "), 64)
+	enc, _, err := Transform(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs(enc) >= runs(in) {
+		t.Fatalf("BWT did not reduce run count: in=%d out=%d", runs(in), runs(enc))
+	}
+}
+
+func runs(p []byte) int {
+	if len(p) == 0 {
+		return 0
+	}
+	n := 1
+	for i := 1; i < len(p); i++ {
+		if p[i] != p[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// Property: Inverse(Transform(x)) == x for arbitrary byte slices.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(in []byte) bool {
+		enc, idx, err := Transform(in)
+		if err != nil {
+			return false
+		}
+		dec, err := Inverse(enc, idx)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: output is a permutation of the input (multiset equality).
+func TestQuickPermutation(t *testing.T) {
+	f := func(in []byte) bool {
+		enc, _, err := Transform(in)
+		if err != nil {
+			return false
+		}
+		var a, b [256]int
+		for _, c := range in {
+			a[c]++
+		}
+		for _, c := range enc {
+			b[c]++
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransform64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := make([]byte, 1<<16)
+	for i := range in {
+		in[i] = byte(rng.Intn(16))
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Transform(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInverse64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := make([]byte, 1<<16)
+	for i := range in {
+		in[i] = byte(rng.Intn(16))
+	}
+	enc, idx, err := Transform(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inverse(enc, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package bytesplit handles the byte-matrix manipulations at the heart of
+// the PRIMACY preconditioner: splitting each big-endian float64 into its 2
+// high-order bytes (sign + exponent + leading mantissa bits) and 6 low-order
+// mantissa bytes, and linearizing byte matrices column-by-column (Sec. II-B
+// and II-D of the paper).
+package bytesplit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BytesPerValue is the element width of double-precision data.
+const BytesPerValue = 8
+
+// HighBytes is the number of high-order (exponent) bytes per element.
+const HighBytes = 2
+
+// LowBytes is the number of low-order (mantissa) bytes per element.
+const LowBytes = BytesPerValue - HighBytes
+
+// ErrBadLength indicates a byte slice whose length is not a multiple of the
+// element width.
+var ErrBadLength = errors.New("bytesplit: length not a multiple of element size")
+
+// Float64sToBytes serializes values big-endian so byte 0 of each element is
+// the sign/exponent byte (the layout the paper's analysis assumes).
+func Float64sToBytes(values []float64) []byte {
+	out := make([]byte, len(values)*BytesPerValue)
+	for i, v := range values {
+		binary.BigEndian.PutUint64(out[i*BytesPerValue:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BytesToFloat64s inverts Float64sToBytes.
+func BytesToFloat64s(data []byte) ([]float64, error) {
+	if len(data)%BytesPerValue != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, len(data))
+	}
+	out := make([]float64, len(data)/BytesPerValue)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(data[i*BytesPerValue:]))
+	}
+	return out, nil
+}
+
+// Split separates an N×8 row-major byte matrix into the N×2 high-order and
+// N×6 low-order matrices (both row-major).
+func Split(data []byte) (hi, lo []byte, err error) {
+	if len(data)%BytesPerValue != 0 {
+		return nil, nil, fmt.Errorf("%w: %d", ErrBadLength, len(data))
+	}
+	n := len(data) / BytesPerValue
+	hi = make([]byte, n*HighBytes)
+	lo = make([]byte, n*LowBytes)
+	for i := 0; i < n; i++ {
+		row := data[i*BytesPerValue:]
+		hi[i*HighBytes] = row[0]
+		hi[i*HighBytes+1] = row[1]
+		copy(lo[i*LowBytes:(i+1)*LowBytes], row[HighBytes:BytesPerValue])
+	}
+	return hi, lo, nil
+}
+
+// Merge reassembles the original row-major matrix from hi and lo parts.
+func Merge(hi, lo []byte) ([]byte, error) {
+	if len(hi)%HighBytes != 0 {
+		return nil, fmt.Errorf("%w: hi %d", ErrBadLength, len(hi))
+	}
+	if len(lo)%LowBytes != 0 {
+		return nil, fmt.Errorf("%w: lo %d", ErrBadLength, len(lo))
+	}
+	n := len(hi) / HighBytes
+	if len(lo)/LowBytes != n {
+		return nil, fmt.Errorf("bytesplit: element count mismatch: hi %d lo %d",
+			n, len(lo)/LowBytes)
+	}
+	out := make([]byte, n*BytesPerValue)
+	for i := 0; i < n; i++ {
+		row := out[i*BytesPerValue:]
+		row[0] = hi[i*HighBytes]
+		row[1] = hi[i*HighBytes+1]
+		copy(row[HighBytes:BytesPerValue], lo[i*LowBytes:(i+1)*LowBytes])
+	}
+	return out, nil
+}
+
+// Columnize converts an N×width row-major matrix to column-major order
+// (all of column 0, then column 1, ...) — the paper's "byte-level data
+// linearization" that lines up runs of equal bytes for the solver's RLE.
+func Columnize(data []byte, width int) ([]byte, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("bytesplit: non-positive width %d", width)
+	}
+	if len(data)%width != 0 {
+		return nil, fmt.Errorf("%w: %d not divisible by width %d", ErrBadLength, len(data), width)
+	}
+	n := len(data) / width
+	out := make([]byte, len(data))
+	for c := 0; c < width; c++ {
+		col := out[c*n : (c+1)*n]
+		for r := 0; r < n; r++ {
+			col[r] = data[r*width+c]
+		}
+	}
+	return out, nil
+}
+
+// Decolumnize inverts Columnize.
+func Decolumnize(data []byte, width int) ([]byte, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("bytesplit: non-positive width %d", width)
+	}
+	if len(data)%width != 0 {
+		return nil, fmt.Errorf("%w: %d not divisible by width %d", ErrBadLength, len(data), width)
+	}
+	n := len(data) / width
+	out := make([]byte, len(data))
+	for c := 0; c < width; c++ {
+		col := data[c*n : (c+1)*n]
+		for r := 0; r < n; r++ {
+			out[r*width+c] = col[r]
+		}
+	}
+	return out, nil
+}
+
+// Column extracts a single column from an N×width row-major matrix.
+func Column(data []byte, width, col int) ([]byte, error) {
+	if width <= 0 || col < 0 || col >= width {
+		return nil, fmt.Errorf("bytesplit: column %d out of range for width %d", col, width)
+	}
+	if len(data)%width != 0 {
+		return nil, fmt.Errorf("%w: %d not divisible by width %d", ErrBadLength, len(data), width)
+	}
+	n := len(data) / width
+	out := make([]byte, n)
+	for r := 0; r < n; r++ {
+		out[r] = data[r*width+col]
+	}
+	return out, nil
+}

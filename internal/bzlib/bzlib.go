@@ -1,0 +1,192 @@
+// Package bzlib implements a bzip2-style block compressor built from this
+// repository's substrates: BWT (decorrelation) + move-to-front + zero
+// run-length coding + canonical Huffman entropy coding.
+//
+// It reproduces the design point the paper attributes to bzlib2: the
+// strongest compression of the three standard "solvers" at the lowest
+// throughput. The container format is our own (this is a reproduction of the
+// algorithm family, not of the bzip2 bitstream).
+package bzlib
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"primacy/internal/bitio"
+	"primacy/internal/bwt"
+	"primacy/internal/mtf"
+)
+
+// DefaultBlockSize is the per-block working size. Smaller than the paper's
+// 3 MB chunk so the O(n log n) rotation sort stays tractable; compression
+// ratio levels off well before this (He et al., cited in the paper).
+const DefaultBlockSize = 256 << 10
+
+// MaxBlockSize bounds per-block memory.
+const MaxBlockSize = 4 << 20
+
+const magic = "BZG2"
+
+var (
+	// ErrCorrupt indicates a malformed stream.
+	ErrCorrupt = errors.New("bzlib: corrupt stream")
+	// ErrBadBlockSize indicates an unsupported block size.
+	ErrBadBlockSize = errors.New("bzlib: invalid block size")
+)
+
+// Options configures compression.
+type Options struct {
+	// BlockSize is the uncompressed bytes per BWT block
+	// (0 means DefaultBlockSize).
+	BlockSize int
+}
+
+// Compress compresses src into a self-describing container.
+func Compress(src []byte, opts Options) ([]byte, error) {
+	bs := opts.BlockSize
+	if bs == 0 {
+		bs = DefaultBlockSize
+	}
+	if bs < 1 || bs > MaxBlockSize {
+		return nil, fmt.Errorf("%w: %d", ErrBadBlockSize, bs)
+	}
+	out := make([]byte, 0, len(src)/2+64)
+	out = append(out, magic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(src)))
+	out = append(out, hdr[:]...)
+
+	for off := 0; off < len(src); off += bs {
+		end := off + bs
+		if end > len(src) {
+			end = len(src)
+		}
+		blk, err := compressBlock(src[off:end])
+		if err != nil {
+			return nil, err
+		}
+		var sz [4]byte
+		binary.LittleEndian.PutUint32(sz[:], uint32(len(blk)))
+		out = append(out, sz[:]...)
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// clampPrealloc bounds header-declared sizes to a sane initial allocation;
+// append grows the buffer only as real decoded data arrives.
+func clampPrealloc(total uint64) int {
+	const cap = 4 << 20
+	if total > cap {
+		return cap
+	}
+	return int(total)
+}
+
+func compressBlock(block []byte) ([]byte, error) {
+	transformed, primary, err := bwt.Transform(block)
+	if err != nil {
+		return nil, err
+	}
+	symbols := mtf.EncodeRLE(mtf.Encode(transformed))
+	nTables := numTablesFor(len(symbols))
+	codecs, selectors, err := buildGroupCoders(symbols, nTables)
+	if err != nil {
+		return nil, err
+	}
+	w := bitio.NewWriter(len(block)/2 + 64)
+	if err := w.WriteGamma(uint64(len(block))); err != nil {
+		return nil, err
+	}
+	if err := w.WriteGamma(uint64(primary)); err != nil {
+		return nil, err
+	}
+	// Per-block CRC of the raw data, as in bzip2: group-coded streams can
+	// otherwise decode a corrupted selector with a different valid table.
+	if err := w.WriteBits(uint64(crc32.ChecksumIEEE(block)), 32); err != nil {
+		return nil, err
+	}
+	if err := writeGroupCoded(w, symbols, codecs, selectors); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// Decompress reverses Compress.
+func Decompress(src []byte) ([]byte, error) {
+	if len(src) < len(magic)+8 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(src[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	total := binary.LittleEndian.Uint64(src[len(magic):])
+	if total > 1<<40 {
+		return nil, fmt.Errorf("%w: absurd size %d", ErrCorrupt, total)
+	}
+	pos := len(magic) + 8
+	// Preallocation is clamped: total is attacker-controlled, and a lying
+	// header must not allocate memory the chunk data cannot back.
+	out := make([]byte, 0, clampPrealloc(total))
+	for uint64(len(out)) < total {
+		if pos+4 > len(src) {
+			return nil, fmt.Errorf("%w: truncated block header", ErrCorrupt)
+		}
+		blen := int(binary.LittleEndian.Uint32(src[pos:]))
+		pos += 4
+		if blen < 0 || pos+blen > len(src) {
+			return nil, fmt.Errorf("%w: truncated block", ErrCorrupt)
+		}
+		block, err := decompressBlock(src[pos : pos+blen])
+		if err != nil {
+			return nil, err
+		}
+		pos += blen
+		out = append(out, block...)
+	}
+	if uint64(len(out)) != total {
+		return nil, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), total)
+	}
+	return out, nil
+}
+
+func decompressBlock(data []byte) ([]byte, error) {
+	r := bitio.NewReader(data)
+	blockLen, err := r.ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if blockLen > MaxBlockSize {
+		return nil, fmt.Errorf("%w: block length %d", ErrCorrupt, blockLen)
+	}
+	primary, err := r.ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	wantCRC, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	symbols, err := readGroupCoded(r, int(2*blockLen)+64)
+	if err != nil {
+		return nil, err
+	}
+	mtfBytes, _, err := mtf.DecodeRLE(symbols)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	transformed := mtf.Decode(mtfBytes)
+	if uint64(len(transformed)) != blockLen {
+		return nil, fmt.Errorf("%w: block length mismatch", ErrCorrupt)
+	}
+	block, err := bwt.Inverse(transformed, int(primary))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(block) != uint32(wantCRC) {
+		return nil, fmt.Errorf("%w: block CRC mismatch", ErrCorrupt)
+	}
+	return block, nil
+}

@@ -1,0 +1,187 @@
+package bzlib
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, in []byte, opts Options) []byte {
+	t.Helper()
+	enc, err := Compress(in, opts)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(dec, in) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(in), len(dec))
+	}
+	return enc
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil, Options{})
+}
+
+func TestSingleByte(t *testing.T) {
+	roundTrip(t, []byte{200}, Options{})
+}
+
+func TestTextCompresses(t *testing.T) {
+	in := bytes.Repeat([]byte("scientific data compression pipeline "), 2000)
+	enc := roundTrip(t, in, Options{})
+	if len(enc) >= len(in)/10 {
+		t.Fatalf("repetitive text barely compressed: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestMultipleBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := make([]byte, 10_000)
+	for i := range in {
+		in[i] = byte(rng.Intn(16))
+	}
+	enc := roundTrip(t, in, Options{BlockSize: 1024})
+	if len(enc) >= len(in) {
+		t.Fatalf("low-entropy data expanded: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestOddBlockBoundary(t *testing.T) {
+	in := bytes.Repeat([]byte{1, 2, 3}, 1000) // 3000 bytes, block 1024
+	roundTrip(t, in, Options{BlockSize: 1024})
+}
+
+func TestRandomDataSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	in := make([]byte, 50_000)
+	rng.Read(in)
+	enc := roundTrip(t, in, Options{})
+	// Incompressible data may expand slightly but must stay bounded.
+	if len(enc) > len(in)+len(in)/8+64 {
+		t.Fatalf("random data expanded too much: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestBeatsNaiveOnBWTFriendlyData(t *testing.T) {
+	// Structured data with long-range repetition benefits from BWT.
+	var in []byte
+	for i := 0; i < 400; i++ {
+		in = append(in, []byte("record:")...)
+		in = append(in, byte('A'+i%3))
+		in = append(in, []byte(";field=12345")...)
+	}
+	enc := roundTrip(t, in, Options{})
+	if float64(len(in))/float64(len(enc)) < 4 {
+		t.Fatalf("expected >4x on structured data, got %.2fx (%d -> %d)",
+			float64(len(in))/float64(len(enc)), len(in), len(enc))
+	}
+}
+
+func TestBadBlockSize(t *testing.T) {
+	if _, err := Compress([]byte("x"), Options{BlockSize: -1}); err == nil {
+		t.Fatal("negative block size accepted")
+	}
+	if _, err := Compress([]byte("x"), Options{BlockSize: MaxBlockSize + 1}); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	valid, err := Compress([]byte("hello world hello world"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short":            valid[:3],
+		"bad magic":        append([]byte("XXXX"), valid[4:]...),
+		"truncated body":   valid[:len(valid)-5],
+		"truncated header": valid[:10],
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestDecompressBitFlips(t *testing.T) {
+	in := bytes.Repeat([]byte("abcdef"), 500)
+	enc, err := Compress(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	flips := 0
+	for trial := 0; trial < 50; trial++ {
+		mut := append([]byte(nil), enc...)
+		i := 12 + rng.Intn(len(mut)-12) // keep magic+size intact
+		mut[i] ^= 1 << uint(rng.Intn(8))
+		dec, err := Decompress(mut)
+		// A flip must never be silently wrong AND panic-free: either an
+		// error or (rarely, for flips in padding) the exact original.
+		if err == nil && !bytes.Equal(dec, in) {
+			flips++
+		}
+	}
+	if flips > 0 {
+		t.Fatalf("%d bit flips produced silently wrong output", flips)
+	}
+}
+
+// Property: arbitrary inputs round-trip across block boundaries.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(in []byte) bool {
+		enc, err := Compress(in, Options{BlockSize: 512})
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]byte, 1<<18)
+	for i := range in {
+		in[i] = byte(rng.Intn(8)) // low entropy, bzip-friendly
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(in, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]byte, 1<<18)
+	for i := range in {
+		in[i] = byte(rng.Intn(8))
+	}
+	enc, err := Compress(in, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

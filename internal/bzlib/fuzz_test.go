@@ -1,0 +1,35 @@
+package bzlib
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress: the block decoder (gamma headers, Huffman tables,
+// selectors, RLE, inverse BWT, CRC) must never panic on adversarial input.
+func FuzzDecompress(f *testing.F) {
+	valid, err := Compress(bytes.Repeat([]byte("block data "), 100), Options{BlockSize: 256})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("BZG2"))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 1
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decompress(data)
+		if err != nil {
+			return
+		}
+		re, err := Compress(dec, Options{BlockSize: 256})
+		if err != nil {
+			t.Fatalf("recompress failed: %v", err)
+		}
+		back, err := Decompress(re)
+		if err != nil || !bytes.Equal(back, dec) {
+			t.Fatalf("re-round-trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package bzlib
+
+import (
+	"fmt"
+
+	"primacy/internal/bitio"
+	"primacy/internal/huffman"
+	"primacy/internal/mtf"
+)
+
+// bzip2-style group coding: the symbol stream is cut into fixed-size groups
+// and each group is entropy-coded with one of a small set of Huffman tables,
+// chosen per group; tables are refined by iterative reassignment (the same
+// clustering loop bzip2 uses). Heterogeneous blocks — a run-heavy region
+// followed by a literal-heavy one — compress noticeably better than with a
+// single table.
+
+// groupSize is the number of symbols coded with one selector.
+const groupSize = 50
+
+// maxTables bounds the table set (bzip2 uses up to 6).
+const maxTables = 6
+
+// clusterIters is how many reassignment passes refine the tables.
+const clusterIters = 3
+
+// numTablesFor picks the table count from the stream size, mirroring
+// bzip2's thresholds.
+func numTablesFor(numSymbols int) int {
+	switch {
+	case numSymbols < 200:
+		return 1
+	case numSymbols < 600:
+		return 2
+	case numSymbols < 1200:
+		return 3
+	case numSymbols < 2400:
+		return 4
+	case numSymbols < 6000:
+		return 5
+	default:
+		return maxTables
+	}
+}
+
+// buildGroupCoders clusters symbol groups onto nTables Huffman codecs and
+// returns the codecs plus the per-group selector assignment.
+func buildGroupCoders(symbols []uint16, nTables int) ([]*huffman.Codec, []int, error) {
+	nGroups := (len(symbols) + groupSize - 1) / groupSize
+	selectors := make([]int, nGroups)
+	// Per-group frequency tallies.
+	groupFreqs := make([][]int, nGroups)
+	for g := range groupFreqs {
+		freqs := make([]int, mtf.AlphabetSize)
+		start := g * groupSize
+		end := start + groupSize
+		if end > len(symbols) {
+			end = len(symbols)
+		}
+		for _, s := range symbols[start:end] {
+			freqs[s]++
+		}
+		groupFreqs[g] = freqs
+	}
+	// Initial partition: contiguous runs of groups per table (bzip2 seeds by
+	// splitting the stream into equal-frequency spans; contiguous spans are
+	// a close, simpler proxy since symbol statistics drift along the block).
+	for g := range selectors {
+		selectors[g] = g * nTables / nGroups
+	}
+	var codecs []*huffman.Codec
+	for iter := 0; iter < clusterIters; iter++ {
+		// Build a codec per table from its assigned groups. Every symbol
+		// keeps frequency >= 1 in every table so any group can select any
+		// table (and the EOB always has a code).
+		tableFreqs := make([][]int, nTables)
+		for t := range tableFreqs {
+			freqs := make([]int, mtf.AlphabetSize)
+			for i := range freqs {
+				freqs[i] = 1
+			}
+			tableFreqs[t] = freqs
+		}
+		for g, t := range selectors {
+			for s, f := range groupFreqs[g] {
+				tableFreqs[t][s] += f
+			}
+		}
+		codecs = codecs[:0]
+		for t := 0; t < nTables; t++ {
+			c, err := huffman.Build(tableFreqs[t])
+			if err != nil {
+				return nil, nil, err
+			}
+			codecs = append(codecs, c)
+		}
+		// Reassign each group to its cheapest table.
+		for g := range selectors {
+			best, bestBits := selectors[g], ^uint64(0)
+			for t, c := range codecs {
+				bits, err := c.EstimateBits(groupFreqs[g])
+				if err != nil {
+					return nil, nil, err
+				}
+				if bits < bestBits {
+					best, bestBits = t, bits
+				}
+			}
+			selectors[g] = best
+		}
+	}
+	return codecs, selectors, nil
+}
+
+// writeGroupCoded emits table count, tables, selectors and the symbol
+// stream.
+func writeGroupCoded(w *bitio.Writer, symbols []uint16, codecs []*huffman.Codec, selectors []int) error {
+	if err := w.WriteBits(uint64(len(codecs)), 3); err != nil {
+		return err
+	}
+	for _, c := range codecs {
+		if err := c.WriteLengths(w); err != nil {
+			return err
+		}
+	}
+	if err := w.WriteGamma(uint64(len(selectors))); err != nil {
+		return err
+	}
+	for _, sel := range selectors {
+		// Selectors are small; 3 bits each (maxTables = 6 < 8).
+		if err := w.WriteBits(uint64(sel), 3); err != nil {
+			return err
+		}
+	}
+	for i, s := range symbols {
+		c := codecs[selectors[i/groupSize]]
+		if err := c.Encode(w, int(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readGroupCoded decodes a stream written by writeGroupCoded, stopping
+// after the EOB symbol.
+func readGroupCoded(r *bitio.Reader, maxSymbols int) ([]uint16, error) {
+	nTables, err := r.ReadBits(3)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if nTables < 1 || nTables > maxTables {
+		return nil, fmt.Errorf("%w: %d tables", ErrCorrupt, nTables)
+	}
+	codecs := make([]*huffman.Codec, nTables)
+	for t := range codecs {
+		codecs[t], err = huffman.ReadLengths(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: table %d: %v", ErrCorrupt, t, err)
+		}
+	}
+	nSelectors, err := r.ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if nSelectors > uint64(maxSymbols/groupSize)+2 {
+		return nil, fmt.Errorf("%w: %d selectors", ErrCorrupt, nSelectors)
+	}
+	selectors := make([]int, nSelectors)
+	for i := range selectors {
+		s, err := r.ReadBits(3)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if s >= nTables {
+			return nil, fmt.Errorf("%w: selector %d of %d tables", ErrCorrupt, s, nTables)
+		}
+		selectors[i] = int(s)
+	}
+	var symbols []uint16
+	for {
+		g := len(symbols) / groupSize
+		if g >= len(selectors) {
+			return nil, fmt.Errorf("%w: symbol stream outruns selectors", ErrCorrupt)
+		}
+		s, err := codecs[selectors[g]].Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		symbols = append(symbols, uint16(s))
+		if s == mtf.EOB {
+			return symbols, nil
+		}
+		if len(symbols) > maxSymbols {
+			return nil, fmt.Errorf("%w: runaway symbol stream", ErrCorrupt)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package bzlib
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"primacy/internal/bitio"
+	"primacy/internal/mtf"
+)
+
+func TestNumTablesThresholds(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, 1}, {199, 1}, {200, 2}, {599, 2}, {600, 3},
+		{1200, 4}, {2400, 5}, {6000, 6}, {1 << 20, 6},
+	}
+	for _, c := range cases {
+		if got := numTablesFor(c.n); got != c.want {
+			t.Errorf("numTablesFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGroupCodedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	symbols := make([]uint16, 5000)
+	for i := range symbols {
+		// Two statistical regimes to exercise multiple tables.
+		if i < 2500 {
+			symbols[i] = uint16(rng.Intn(4))
+		} else {
+			symbols[i] = uint16(100 + rng.Intn(100))
+		}
+	}
+	symbols[len(symbols)-1] = mtf.EOB
+	nTables := numTablesFor(len(symbols))
+	codecs, selectors, err := buildGroupCoders(symbols, nTables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	if err := writeGroupCoded(w, symbols, codecs, selectors); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readGroupCoded(bitio.NewReader(w.Bytes()), len(symbols)+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(symbols) {
+		t.Fatalf("length %d != %d", len(got), len(symbols))
+	}
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d: %d != %d", i, got[i], symbols[i])
+		}
+	}
+}
+
+func TestMultiTableBeatsSingleTableOnHeterogeneousData(t *testing.T) {
+	// A block whose first half is run-heavy and second half literal-heavy
+	// should benefit from per-group tables.
+	var block []byte
+	block = append(block, bytes.Repeat([]byte{5}, 40_000)...)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40_000; i++ {
+		block = append(block, byte(rng.Intn(64)))
+	}
+	enc, err := Compress(block, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, block) {
+		t.Fatal("round trip mismatch")
+	}
+	// The run half is nearly free; output must be well under half the
+	// literal half's entropy bound (40000 * 6/8 bytes).
+	if len(enc) > 36_000 {
+		t.Fatalf("heterogeneous block compressed to %d bytes, expected < 36000", len(enc))
+	}
+}
+
+func TestSelectorAssignmentsSeparateRegimes(t *testing.T) {
+	// Groups from different statistical regimes should end up on different
+	// tables (when more than one table is in play).
+	symbols := make([]uint16, 4000)
+	for i := range symbols {
+		if i < 2000 {
+			symbols[i] = 0
+		} else {
+			symbols[i] = uint16(50 + i%150)
+		}
+	}
+	symbols[len(symbols)-1] = mtf.EOB
+	codecs, selectors, err := buildGroupCoders(symbols, numTablesFor(len(symbols)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codecs) < 2 {
+		t.Fatalf("expected multiple tables, got %d", len(codecs))
+	}
+	firstHalf := selectors[0]
+	lastHalf := selectors[len(selectors)-1]
+	if firstHalf == lastHalf {
+		t.Fatalf("regimes share table %d; clustering failed", firstHalf)
+	}
+}
+
+func TestReadGroupCodedCorrupt(t *testing.T) {
+	// Zero tables.
+	w := bitio.NewWriter(0)
+	if err := w.WriteBits(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readGroupCoded(bitio.NewReader(w.Bytes()), 100); err == nil {
+		t.Fatal("zero tables accepted")
+	}
+	// Truncated stream.
+	if _, err := readGroupCoded(bitio.NewReader(nil), 100); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -1,0 +1,688 @@
+// Package core implements the PRIMACY compression pipeline — the paper's
+// primary contribution. Per 3 MB chunk it (1) splits each double into 2
+// high-order and 6 low-order bytes, (2) maps high-order byte pairs to
+// frequency-ranked IDs, (3) column-linearizes the ID matrix, (4) compresses
+// it with a standard solver, and (5) routes the mantissa bytes through the
+// ISOBAR analyzer so only compressible byte columns reach the solver.
+// The inverse pipeline reconstructs the input bit-exactly.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"primacy/internal/bytesplit"
+	"primacy/internal/chunker"
+	"primacy/internal/freq"
+	"primacy/internal/isobar"
+	"primacy/internal/solver"
+)
+
+const magic = "PRM1"
+
+// Linearization selects how the ID matrix is laid out before the solver.
+type Linearization uint8
+
+const (
+	// LinearizeColumns compresses the ID matrix column-by-column
+	// (the paper's choice, Sec. II-D).
+	LinearizeColumns Linearization = iota
+	// LinearizeRows keeps row-major order (ablation baseline, Sec. IV-H).
+	LinearizeRows
+)
+
+// IDMapping selects how high-order byte pairs become IDs.
+type IDMapping uint8
+
+const (
+	// MapRanked assigns IDs by descending frequency (the paper's mapper).
+	MapRanked IDMapping = iota
+	// MapIdentity passes high-order bytes through unmapped
+	// (ablation baseline isolating the mapper's contribution).
+	MapIdentity
+)
+
+// IndexMode selects when chunk indexes are emitted (Sec. II-F).
+type IndexMode uint8
+
+const (
+	// IndexPerChunk emits a fresh index with every chunk (paper default).
+	IndexPerChunk IndexMode = iota
+	// IndexReuse emits an index only when the previous one no longer covers
+	// the chunk's sequences (the "more intelligent indexing scheme" the
+	// paper sketches as future work).
+	IndexReuse
+)
+
+// Precision selects the floating-point element width.
+type Precision uint8
+
+const (
+	// Float64 is the paper's double-precision layout (2+6 byte split).
+	Float64 Precision = iota
+	// Float32 handles single-precision data (2+2 byte split) — the
+	// generalization the paper notes in Sec. II-A.
+	Float32
+)
+
+// layout maps the precision to its byte-split geometry.
+func (p Precision) layout() (bytesplit.Layout, error) {
+	switch p {
+	case Float64:
+		return bytesplit.Float64Layout, nil
+	case Float32:
+		return bytesplit.Float32Layout, nil
+	default:
+		return bytesplit.Layout{}, fmt.Errorf("core: unknown precision %d", p)
+	}
+}
+
+// Options configures the codec.
+type Options struct {
+	// Solver names the registered standard compressor (default "zlib").
+	Solver string
+	// ChunkBytes is the in-situ chunk size (default 3 MB).
+	ChunkBytes int
+	// Linearization of the ID matrix (default columns).
+	Linearization Linearization
+	// Mapping of high-order bytes (default ranked).
+	Mapping IDMapping
+	// IndexMode controls index emission (default per chunk).
+	IndexMode IndexMode
+	// Precision selects the element width (default Float64).
+	Precision Precision
+	// DisableISOBAR compresses all six mantissa byte columns through the
+	// solver unconditionally (ablation).
+	DisableISOBAR bool
+	// ISOBAR tunes the mantissa analyzer.
+	ISOBAR isobar.Options
+}
+
+func (o Options) solverName() string {
+	if o.Solver == "" {
+		return "zlib"
+	}
+	return o.Solver
+}
+
+// Stats reports what the compressor did — the inputs of the paper's
+// performance model (Table I) plus size accounting.
+type Stats struct {
+	// RawBytes and CompressedBytes give the end-to-end ratio.
+	RawBytes        int
+	CompressedBytes int
+	// Chunks processed.
+	Chunks int
+	// Alpha1 is the fraction of each chunk handled by the ID mapper
+	// (the high-order 2 of 8 bytes).
+	Alpha1 float64
+	// Alpha2 is the mean fraction of the low-order bytes classified
+	// compressible by ISOBAR.
+	Alpha2 float64
+	// SigmaHo is compressed/original for the high-order part (IDs+index).
+	SigmaHo float64
+	// SigmaLo is compressed/original for the compressible low-order part.
+	SigmaLo float64
+	// IndexBytes is the total metadata overhead.
+	IndexBytes int
+	// IndexesEmitted counts chunks that carried a fresh index.
+	IndexesEmitted int
+	// PrecSeconds is wall time spent in preconditioner stages (byte split,
+	// frequency analysis, ID mapping, linearization, ISOBAR analysis and
+	// partitioning) — the T_prec input of the performance model.
+	PrecSeconds float64
+	// SolverSeconds is wall time spent inside the standard compressor —
+	// the T_comp input of the performance model.
+	SolverSeconds float64
+	// SolverInputBytes is how many bytes were handed to the solver
+	// (α1·C + α2·(1-α1)·C summed over chunks).
+	SolverInputBytes int
+}
+
+// PrecThroughput reports raw preconditioner throughput in bytes/second.
+func (s Stats) PrecThroughput() float64 {
+	if s.PrecSeconds <= 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / s.PrecSeconds
+}
+
+// SolverThroughput reports solver throughput over its input bytes.
+func (s Stats) SolverThroughput() float64 {
+	if s.SolverSeconds <= 0 {
+		return 0
+	}
+	return float64(s.SolverInputBytes) / s.SolverSeconds
+}
+
+// Ratio returns original/compressed (the paper's Equation 1; >1 is good).
+func (s Stats) Ratio() float64 {
+	if s.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.CompressedBytes)
+}
+
+var (
+	// ErrCorrupt indicates a malformed container.
+	ErrCorrupt = errors.New("core: corrupt stream")
+	// ErrBadInput indicates input that is not whole float64 elements.
+	ErrBadInput = errors.New("core: input not a multiple of 8 bytes")
+)
+
+// Compress compresses a byte stream of big-endian-serializable float64 data
+// (any []byte whose length is a multiple of 8 works; the pipeline is
+// lossless regardless of content).
+func Compress(data []byte, opts Options) ([]byte, error) {
+	out, _, err := CompressWithStats(data, opts)
+	return out, err
+}
+
+// CompressFloat64s is a convenience wrapper over Compress.
+func CompressFloat64s(values []float64, opts Options) ([]byte, error) {
+	return Compress(bytesplit.Float64sToBytes(values), opts)
+}
+
+// CompressFloat32s compresses single-precision values (forces the Float32
+// precision layout).
+func CompressFloat32s(values []float32, opts Options) ([]byte, error) {
+	opts.Precision = Float32
+	return Compress(bytesplit.Float32sToBytes(values), opts)
+}
+
+// DecompressFloat32s reverses CompressFloat32s.
+func DecompressFloat32s(data []byte) ([]float32, error) {
+	raw, err := Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return bytesplit.BytesToFloat32s(raw)
+}
+
+// CompressWithStats compresses and reports the model parameters.
+func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
+	var stats Stats
+	lay, err := opts.Precision.layout()
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(data)%lay.ElemBytes != 0 {
+		return nil, stats, fmt.Errorf("%w: %d %% %d", ErrBadInput, len(data), lay.ElemBytes)
+	}
+	sv, err := solver.Get(opts.solverName())
+	if err != nil {
+		return nil, stats, err
+	}
+	plan, err := chunker.NewPlan(len(data), opts.ChunkBytes, lay.ElemBytes)
+	if err != nil {
+		return nil, stats, err
+	}
+	chunks, err := plan.Split(data)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	out := make([]byte, 0, len(data)/2+256)
+	out = append(out, magic...)
+	out = append(out, byte(opts.Linearization), byte(opts.Mapping), byte(opts.IndexMode), boolByte(opts.DisableISOBAR))
+	out = append(out, byte(opts.Precision))
+	name := opts.solverName()
+	out = append(out, byte(len(name)))
+	out = append(out, name...)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(len(data)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(plan.ChunkBytes()))
+	out = append(out, hdr[:]...)
+
+	stats.RawBytes = len(data)
+	stats.Alpha1 = float64(lay.HiBytes) / float64(lay.ElemBytes)
+	var (
+		prevIndex *freq.Index
+		hiRaw     int
+		hiComp    int
+		loCompIn  int
+		loCompOut int
+		alpha2Sum float64
+	)
+	for _, chunk := range chunks {
+		enc, ci, err := compressChunk(chunk, sv, opts, lay, prevIndex)
+		if err != nil {
+			return nil, stats, err
+		}
+		prevIndex = ci.index
+		var sz [4]byte
+		binary.LittleEndian.PutUint32(sz[:], uint32(len(enc)))
+		out = append(out, sz[:]...)
+		out = append(out, enc...)
+		stats.Chunks++
+		stats.IndexBytes += ci.indexBytes
+		if ci.indexBytes > 0 {
+			stats.IndexesEmitted++
+		}
+		hiRaw += ci.hiRaw
+		hiComp += ci.hiComp + ci.indexBytes
+		loCompIn += ci.loCompIn
+		loCompOut += ci.loCompOut
+		alpha2Sum += ci.alpha2
+		stats.PrecSeconds += ci.precSecs
+		stats.SolverSeconds += ci.solverSecs
+		stats.SolverInputBytes += ci.solverInput
+	}
+	stats.CompressedBytes = len(out)
+	if stats.Chunks > 0 {
+		stats.Alpha2 = alpha2Sum / float64(stats.Chunks)
+	}
+	if hiRaw > 0 {
+		stats.SigmaHo = float64(hiComp) / float64(hiRaw)
+	}
+	if loCompIn > 0 {
+		stats.SigmaLo = float64(loCompOut) / float64(loCompIn)
+	}
+	return out, stats, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type chunkInfo struct {
+	index       *freq.Index
+	indexBytes  int
+	hiRaw       int
+	hiComp      int
+	loCompIn    int
+	loCompOut   int
+	alpha2      float64
+	precSecs    float64
+	solverSecs  float64
+	solverInput int
+}
+
+func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index) ([]byte, chunkInfo, error) {
+	var ci chunkInfo
+	precStart := time.Now()
+	hi, lo, err := lay.Split(chunk)
+	if err != nil {
+		return nil, ci, err
+	}
+	ci.hiRaw = len(hi)
+
+	// High-order path: ID mapping + linearization + solver.
+	var (
+		ids       []byte
+		indexBlob []byte
+	)
+	switch opts.Mapping {
+	case MapIdentity:
+		ids = hi
+		ci.index = nil
+	case MapRanked:
+		idx := prev
+		reuse := false
+		if opts.IndexMode == IndexReuse && prev != nil {
+			covered, err := prev.Covers(hi)
+			if err != nil {
+				return nil, ci, err
+			}
+			reuse = covered
+		}
+		if !reuse {
+			counts, err := freq.Histogram(hi)
+			if err != nil {
+				return nil, ci, err
+			}
+			if len(hi) > 0 {
+				idx, err = freq.BuildIndex(counts)
+				if err != nil {
+					return nil, ci, err
+				}
+				indexBlob = idx.Marshal()
+			}
+		}
+		if idx != nil {
+			ids, err = idx.Encode(hi)
+			if err != nil {
+				return nil, ci, err
+			}
+		}
+		ci.index = idx
+	default:
+		return nil, ci, fmt.Errorf("core: unknown mapping %d", opts.Mapping)
+	}
+	if opts.Linearization == LinearizeColumns && len(ids) > 0 {
+		ids, err = bytesplit.Columnize(ids, lay.HiBytes)
+		if err != nil {
+			return nil, ci, err
+		}
+	}
+	ci.precSecs += time.Since(precStart).Seconds()
+	solverStart := time.Now()
+	idsComp, err := sv.Compress(ids)
+	if err != nil {
+		return nil, ci, err
+	}
+	ci.solverSecs += time.Since(solverStart).Seconds()
+	ci.solverInput += len(ids)
+	ci.hiComp = len(idsComp)
+	ci.indexBytes = len(indexBlob)
+
+	// Low-order path: ISOBAR partition + solver on the compressible part.
+	precStart = time.Now()
+	var mask uint64
+	if opts.DisableISOBAR {
+		mask = (1 << uint(lay.LoBytes())) - 1
+		ci.alpha2 = 1
+	} else {
+		analysis, err := isobar.Analyze(lo, lay.LoBytes(), opts.ISOBAR)
+		if err != nil {
+			return nil, ci, err
+		}
+		mask = analysis.Mask
+		ci.alpha2 = analysis.CompressibleFraction()
+	}
+	comp, incomp, err := isobar.Partition(lo, lay.LoBytes(), mask)
+	if err != nil {
+		return nil, ci, err
+	}
+	ci.precSecs += time.Since(precStart).Seconds()
+	solverStart = time.Now()
+	compOut, err := sv.Compress(comp)
+	if err != nil {
+		return nil, ci, err
+	}
+	ci.solverSecs += time.Since(solverStart).Seconds()
+	ci.solverInput += len(comp)
+	// Guard: if the solver expanded the compressible part, store it raw and
+	// clear the mask so decode knows (ISOBAR's no-waste principle).
+	if len(compOut) >= len(comp) && len(comp) > 0 {
+		mask = 0
+		comp2, incomp2, err := isobar.Partition(lo, lay.LoBytes(), mask)
+		if err != nil {
+			return nil, ci, err
+		}
+		comp, incomp = comp2, incomp2
+		compOut, err = sv.Compress(comp)
+		if err != nil {
+			return nil, ci, err
+		}
+		ci.alpha2 = 0
+	}
+	ci.loCompIn = len(comp)
+	ci.loCompOut = len(compOut)
+
+	// Assemble the chunk record.
+	enc := make([]byte, 0, len(idsComp)+len(compOut)+len(incomp)+len(indexBlob)+32)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunk)))
+	enc = append(enc, u32[:]...)
+	enc = append(enc, boolByte(len(indexBlob) > 0))
+	if len(indexBlob) > 0 {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(indexBlob)))
+		enc = append(enc, u32[:]...)
+		enc = append(enc, indexBlob...)
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(idsComp)))
+	enc = append(enc, u32[:]...)
+	enc = append(enc, idsComp...)
+	enc = append(enc, byte(mask))
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(compOut)))
+	enc = append(enc, u32[:]...)
+	enc = append(enc, compOut...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(incomp)))
+	enc = append(enc, u32[:]...)
+	enc = append(enc, incomp...)
+	return enc, ci, nil
+}
+
+// DecompStats reports read-side stage timing.
+type DecompStats struct {
+	// RawBytes is the decompressed size.
+	RawBytes int
+	// PrecSeconds is wall time spent inverting preconditioner stages
+	// (ID decode, delinearization, unpartition, merge).
+	PrecSeconds float64
+	// SolverSeconds is wall time spent in solver decompression.
+	SolverSeconds float64
+	// SolverOutputBytes is how many raw bytes the solver produced.
+	SolverOutputBytes int
+}
+
+// PrecThroughput reports inverse-preconditioner throughput in bytes/second.
+func (s DecompStats) PrecThroughput() float64 {
+	if s.PrecSeconds <= 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / s.PrecSeconds
+}
+
+// SolverThroughput reports solver decompression throughput over its output.
+func (s DecompStats) SolverThroughput() float64 {
+	if s.SolverSeconds <= 0 {
+		return 0
+	}
+	return float64(s.SolverOutputBytes) / s.SolverSeconds
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]byte, error) {
+	out, _, err := DecompressWithStats(data)
+	return out, err
+}
+
+// DecompressWithStats decompresses and reports read-side stage timing.
+func DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
+	var ds DecompStats
+	// Fixed header prefix: magic(4) + flags(4) + precision(1) + nameLen(1).
+	if len(data) < 4+4+1+1 {
+		return nil, ds, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(data[:4]) != magic {
+		return nil, ds, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	pos := 4
+	lin := Linearization(data[pos])
+	mapping := IDMapping(data[pos+1])
+	// data[pos+2] is the index mode, data[pos+3] the ISOBAR flag; both are
+	// informational on decode (the chunk records are self-describing).
+	pos += 4
+	if pos >= len(data) {
+		return nil, ds, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	prec := Precision(data[pos])
+	pos++
+	lay, err := prec.layout()
+	if err != nil {
+		return nil, ds, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	nameLen := int(data[pos])
+	pos++
+	if pos+nameLen+12 > len(data) {
+		return nil, ds, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	name := string(data[pos : pos+nameLen])
+	pos += nameLen
+	total := binary.LittleEndian.Uint64(data[pos:])
+	pos += 8
+	pos += 4 // chunkBytes: informational
+	if total > 1<<40 {
+		return nil, ds, fmt.Errorf("%w: absurd size %d", ErrCorrupt, total)
+	}
+	sv, err := solver.Get(name)
+	if err != nil {
+		return nil, ds, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	// Clamp the preallocation: total is attacker-controlled and must not
+	// allocate memory the chunk records cannot back.
+	preTotal := total
+	if preTotal > 8<<20 {
+		preTotal = 8 << 20
+	}
+	out := make([]byte, 0, preTotal)
+	var prevIndex *freq.Index
+	for uint64(len(out)) < total {
+		if pos+4 > len(data) {
+			return nil, ds, fmt.Errorf("%w: truncated chunk size", ErrCorrupt)
+		}
+		clen := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if clen < 0 || pos+clen > len(data) {
+			return nil, ds, fmt.Errorf("%w: truncated chunk", ErrCorrupt)
+		}
+		chunk, idx, err := decompressChunk(data[pos:pos+clen], sv, lin, mapping, lay, prevIndex, &ds)
+		if err != nil {
+			return nil, ds, err
+		}
+		prevIndex = idx
+		pos += clen
+		out = append(out, chunk...)
+	}
+	if uint64(len(out)) != total {
+		return nil, ds, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), total)
+	}
+	ds.RawBytes = len(out)
+	return out, ds, nil
+}
+
+// DecompressFloat64s decompresses and deserializes to float64 values.
+func DecompressFloat64s(data []byte) ([]float64, error) {
+	raw, err := Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return bytesplit.BytesToFloat64s(raw)
+}
+
+func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats) ([]byte, *freq.Index, error) {
+	pos := 0
+	readU32 := func() (int, error) {
+		if pos+4 > len(rec) {
+			return 0, fmt.Errorf("%w: truncated chunk record", ErrCorrupt)
+		}
+		v := int(binary.LittleEndian.Uint32(rec[pos:]))
+		pos += 4
+		return v, nil
+	}
+	rawLen, err := readU32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if rawLen%lay.ElemBytes != 0 || rawLen < 0 {
+		return nil, nil, fmt.Errorf("%w: chunk raw length %d", ErrCorrupt, rawLen)
+	}
+	n := rawLen / lay.ElemBytes
+	if pos >= len(rec) {
+		return nil, nil, fmt.Errorf("%w: missing index flag", ErrCorrupt)
+	}
+	hasIndex := rec[pos] == 1
+	pos++
+	idx := prev
+	if hasIndex {
+		ilen, err := readU32()
+		if err != nil {
+			return nil, nil, err
+		}
+		if ilen < 0 || pos+ilen > len(rec) {
+			return nil, nil, fmt.Errorf("%w: truncated index", ErrCorrupt)
+		}
+		idx, err = freq.UnmarshalIndex(rec[pos : pos+ilen])
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		pos += ilen
+	}
+	idsLen, err := readU32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if idsLen < 0 || pos+idsLen > len(rec) {
+		return nil, nil, fmt.Errorf("%w: truncated ID payload", ErrCorrupt)
+	}
+	solverStart := time.Now()
+	ids, err := sv.Decompress(rec[pos : pos+idsLen])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: ID payload: %v", ErrCorrupt, err)
+	}
+	ds.SolverSeconds += time.Since(solverStart).Seconds()
+	ds.SolverOutputBytes += len(ids)
+	pos += idsLen
+	if len(ids) != n*lay.HiBytes {
+		return nil, nil, fmt.Errorf("%w: ID matrix %d bytes, want %d", ErrCorrupt, len(ids), n*lay.HiBytes)
+	}
+	precStart := time.Now()
+	if lin == LinearizeColumns && len(ids) > 0 {
+		ids, err = bytesplit.Decolumnize(ids, lay.HiBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	var hi []byte
+	switch mapping {
+	case MapIdentity:
+		hi = ids
+	case MapRanked:
+		if idx == nil {
+			if n > 0 {
+				return nil, nil, fmt.Errorf("%w: chunk needs index but none present", ErrCorrupt)
+			}
+			hi = ids
+		} else {
+			hi, err = idx.Decode(ids)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown mapping %d", ErrCorrupt, mapping)
+	}
+
+	ds.PrecSeconds += time.Since(precStart).Seconds()
+	if pos >= len(rec) {
+		return nil, nil, fmt.Errorf("%w: missing ISOBAR mask", ErrCorrupt)
+	}
+	mask := uint64(rec[pos])
+	pos++
+	compLen, err := readU32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if compLen < 0 || pos+compLen > len(rec) {
+		return nil, nil, fmt.Errorf("%w: truncated mantissa payload", ErrCorrupt)
+	}
+	solverStart = time.Now()
+	comp, err := sv.Decompress(rec[pos : pos+compLen])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: mantissa payload: %v", ErrCorrupt, err)
+	}
+	ds.SolverSeconds += time.Since(solverStart).Seconds()
+	ds.SolverOutputBytes += len(comp)
+	pos += compLen
+	incompLen, err := readU32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if incompLen < 0 || pos+incompLen > len(rec) {
+		return nil, nil, fmt.Errorf("%w: truncated raw payload", ErrCorrupt)
+	}
+	incomp := rec[pos : pos+incompLen]
+	pos += incompLen
+	if pos != len(rec) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes in chunk record", ErrCorrupt, len(rec)-pos)
+	}
+	precStart = time.Now()
+	lo, err := isobar.Unpartition(comp, incomp, lay.LoBytes(), mask, n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	chunk, err := lay.Merge(hi, lo)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	ds.PrecSeconds += time.Since(precStart).Seconds()
+	return chunk, idx, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress drives the container decoder with adversarial inputs: it
+// must never panic, and whenever it accepts an input the result must
+// re-compress/decompress consistently. Run with `go test -fuzz=FuzzDecompress`
+// for continuous fuzzing; under plain `go test` the seed corpus runs.
+func FuzzDecompress(f *testing.F) {
+	valid, err := CompressFloat64s(syntheticDoubles(500, 99), Options{ChunkBytes: 1024})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("PRM1"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x10
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decompress(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: decoded data must be whole elements and survive a
+		// fresh round trip.
+		if len(dec)%8 != 0 {
+			t.Fatalf("accepted container yielded %d bytes (not whole elements)", len(dec))
+		}
+		re, err := Compress(dec, Options{ChunkBytes: 1024})
+		if err != nil {
+			t.Fatalf("recompress failed: %v", err)
+		}
+		back, err := Decompress(re)
+		if err != nil || !bytes.Equal(back, dec) {
+			t.Fatalf("re-round-trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzCompress feeds arbitrary element-aligned bytes through the full
+// pipeline and demands a bit-exact round trip.
+func FuzzCompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x3F, 0xF0, 0, 0, 0, 0, 0, 0}, 16))
+	f.Add(bytes.Repeat([]byte{0xAB}, 256))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		data = data[:len(data)/8*8]
+		enc, err := Compress(data, Options{ChunkBytes: 512})
+		if err != nil {
+			t.Fatalf("compress rejected aligned input: %v", err)
+		}
+		dec, err := Decompress(enc)
+		if err != nil || !bytes.Equal(dec, data) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"primacy/internal/bytesplit"
+	"primacy/internal/solver"
+)
+
+// ChunkReader provides random access to the chunks of a compressed
+// container without decompressing the whole stream — the access pattern of
+// analysis tools that read one time slice out of a large archive.
+//
+// Random access requires per-chunk indexes: containers written with
+// IndexReuse make later chunks depend on earlier ones, and NewChunkReader
+// rejects chunks that lack their own index when accessed out of order.
+type ChunkReader struct {
+	data    []byte
+	sv      solver.Compressor
+	lin     Linearization
+	mapping IDMapping
+	lay     bytesplit.Layout
+	// offsets[i] is the byte range of chunk record i within data.
+	offsets [][2]int
+	// rawOffsets[i] is the starting element-byte offset of chunk i.
+	rawOffsets []int
+	totalRaw   int
+}
+
+// NewChunkReader parses the container framing (headers and chunk sizes
+// only; no payload is decompressed).
+func NewChunkReader(data []byte) (*ChunkReader, error) {
+	if len(data) < 4+4+1+1 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := &ChunkReader{data: data}
+	pos := 4
+	r.lin = Linearization(data[pos])
+	r.mapping = IDMapping(data[pos+1])
+	pos += 4
+	prec := Precision(data[pos])
+	pos++
+	lay, err := prec.layout()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	r.lay = lay
+	nameLen := int(data[pos])
+	pos++
+	if pos+nameLen+12 > len(data) {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	name := string(data[pos : pos+nameLen])
+	pos += nameLen
+	total := binary.LittleEndian.Uint64(data[pos:])
+	pos += 8 + 4
+	if total > 1<<40 {
+		return nil, fmt.Errorf("%w: absurd size %d", ErrCorrupt, total)
+	}
+	r.sv, err = solver.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// Walk the chunk records.
+	rawSeen := 0
+	for uint64(rawSeen) < total {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated chunk size", ErrCorrupt)
+		}
+		clen := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if clen < 4 || pos+clen > len(data) {
+			return nil, fmt.Errorf("%w: truncated chunk", ErrCorrupt)
+		}
+		rawLen := int(binary.LittleEndian.Uint32(data[pos:]))
+		if rawLen <= 0 || rawLen%lay.ElemBytes != 0 {
+			return nil, fmt.Errorf("%w: chunk raw length %d", ErrCorrupt, rawLen)
+		}
+		r.offsets = append(r.offsets, [2]int{pos, pos + clen})
+		r.rawOffsets = append(r.rawOffsets, rawSeen)
+		rawSeen += rawLen
+		pos += clen
+	}
+	if uint64(rawSeen) != total {
+		return nil, fmt.Errorf("%w: chunk sizes sum to %d, header says %d", ErrCorrupt, rawSeen, total)
+	}
+	r.totalRaw = rawSeen
+	return r, nil
+}
+
+// NumChunks reports how many chunks the container holds.
+func (r *ChunkReader) NumChunks() int { return len(r.offsets) }
+
+// RawBytes reports the total decompressed size.
+func (r *ChunkReader) RawBytes() int { return r.totalRaw }
+
+// ChunkRange returns the [start, end) raw byte range chunk i decodes to.
+func (r *ChunkReader) ChunkRange(i int) (start, end int, err error) {
+	if i < 0 || i >= len(r.offsets) {
+		return 0, 0, fmt.Errorf("core: chunk %d out of range [0,%d)", i, len(r.offsets))
+	}
+	start = r.rawOffsets[i]
+	if i+1 < len(r.offsets) {
+		end = r.rawOffsets[i+1]
+	} else {
+		end = r.totalRaw
+	}
+	return start, end, nil
+}
+
+// DecodeChunk decompresses one chunk. The chunk must be self-contained
+// (carry its own index); chunks written under IndexReuse that depend on an
+// earlier chunk's index return an error.
+func (r *ChunkReader) DecodeChunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(r.offsets) {
+		return nil, fmt.Errorf("core: chunk %d out of range [0,%d)", i, len(r.offsets))
+	}
+	off := r.offsets[i]
+	rec := r.data[off[0]:off[1]]
+	// rec[4] is the has-index flag (after the raw length).
+	if len(rec) >= 5 && rec[4] != 1 && r.mapping == MapRanked {
+		return nil, fmt.Errorf("core: chunk %d has no index (IndexReuse container); decode sequentially", i)
+	}
+	var ds DecompStats
+	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds)
+	return chunk, err
+}
+
+// DecodeFloat64Range decompresses only the chunks overlapping the element
+// range [first, first+count) and returns exactly the requested values.
+func (r *ChunkReader) DecodeFloat64Range(first, count int) ([]float64, error) {
+	if r.lay.ElemBytes != bytesplit.Float64Layout.ElemBytes {
+		return nil, fmt.Errorf("core: container holds %d-byte elements, not float64", r.lay.ElemBytes)
+	}
+	if first < 0 || count < 0 || (first+count)*8 > r.totalRaw {
+		return nil, fmt.Errorf("core: element range [%d,%d) out of bounds", first, first+count)
+	}
+	startByte, endByte := first*8, (first+count)*8
+	out := make([]float64, 0, count)
+	for i := 0; i < r.NumChunks(); i++ {
+		cs, ce, err := r.ChunkRange(i)
+		if err != nil {
+			return nil, err
+		}
+		if ce <= startByte || cs >= endByte {
+			continue
+		}
+		chunk, err := r.DecodeChunk(i)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := maxInt(startByte, cs)-cs, minInt(endByte, ce)-cs
+		vals, err := bytesplit.BytesToFloat64s(chunk[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderN keeps render smoke tests fast.
+const renderN = 8 << 10
+
+func TestRenderFig4AndModel(t *testing.T) {
+	env := DefaultEnv()
+	wr, err := Fig4Write(renderN, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFig4(wr, true)
+	if !strings.Contains(out, "write throughput") || !strings.Contains(out, "num_comet") {
+		t.Fatalf("fig4 write render incomplete:\n%s", out)
+	}
+	rd, err := Fig4Read(renderN, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderFig4(rd, false), "read throughput") {
+		t.Fatal("fig4 read render incomplete")
+	}
+	mv, err := ModelValidation(renderN, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderModelValidation(mv), "wModel") {
+		t.Fatal("model validation render incomplete")
+	}
+}
+
+func TestRenderAblationsAndStudies(t *testing.T) {
+	rep, err := RepeatabilityGain(renderN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderRepeatability(rep), "repeatability gain") {
+		t.Fatal("repeatability render incomplete")
+	}
+	lin, err := LinearizationAblation(renderN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAblation(lin, "col", "row")
+	if !strings.Contains(out, "colCR") || !strings.Contains(out, "mean col advantage") {
+		t.Fatalf("ablation render incomplete:\n%s", out)
+	}
+	cs, err := ChunkSizeSweep(renderN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderChunkSweep(cs), "CTP MB/s") {
+		t.Fatal("chunk sweep render incomplete")
+	}
+	ir, err := IndexReuseStudy(renderN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderIndexReuse(ir), "reuseIdx") {
+		t.Fatal("index reuse render incomplete")
+	}
+}
+
+func TestRenderPredictiveAndSolvers(t *testing.T) {
+	pr, err := PredictiveComparison(renderN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderPredictive(pr)
+	if !strings.Contains(out, "fpzCR") || !strings.Contains(out, "CR wins vs fpc") {
+		t.Fatalf("predictive render incomplete:\n%s", out)
+	}
+	sv, err := SolverSweep(renderN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = RenderSolverSweep(sv)
+	if !strings.Contains(out, "bzlib") || !strings.Contains(out, "prmCTP") {
+		t.Fatalf("solver sweep render incomplete:\n%s", out)
+	}
+	sc, err := ScalingStudy(renderN, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = RenderScaling(sc)
+	if !strings.Contains(out, "groups") || !strings.Contains(out, "saturated") {
+		t.Fatalf("scaling render incomplete:\n%s", out)
+	}
+}

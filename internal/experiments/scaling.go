@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"primacy/internal/core"
+	"primacy/internal/datagen"
+	"primacy/internal/hpcsim"
+)
+
+// ScalingRow is one point of the filesystem-saturation study: aggregate
+// write throughput as staging groups are added against a fixed shared
+// filesystem (the exascale motivation of the paper's introduction).
+type ScalingRow struct {
+	Groups int
+	// NullBps / PrimacyBps are aggregate raw-data rates in MB/s.
+	NullMBs, PrimacyMBs float64
+	// NullSaturated / PrimacySaturated report whether the filesystem is
+	// the binding constraint at this scale.
+	NullSaturated, PrimacySaturated bool
+}
+
+// ScalingStudy sweeps group count for the null and PRIMACY cases over a
+// shared filesystem sized to saturate around 8 uncompressed groups.
+func ScalingStudy(n int, env Env) ([]ScalingRow, error) {
+	n = elemCount(n)
+	spec, ok := datagen.ByName("flash_velx")
+	if !ok {
+		return nil, fmt.Errorf("scaling: dataset missing")
+	}
+	raw := spec.GenerateBytes(n)
+	prim, err := MeasurePRIMACY(raw, core.Options{ChunkBytes: env.ChunkBytes})
+	if err != nil {
+		return nil, err
+	}
+	group := hpcsim.Config{
+		Rho:                env.Rho,
+		Timesteps:          2,
+		ChunkBytes:         float64(env.ChunkBytes),
+		CompressedFraction: 1,
+		NetworkBps:         env.ThetaBps,
+		DiskBps:            env.MuWriteBps,
+	}
+	fsBps := env.MuWriteBps * 8 // saturates near 8 uncompressed groups
+	var rows []ScalingRow
+	for _, g := range []int{1, 2, 4, 8, 16, 32} {
+		nullRes, err := hpcsim.SimulateClusterWrite(hpcsim.ClusterConfig{
+			Group: group, Groups: g, FSBps: fsBps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pg := group
+		pg.CompressedFraction = prim.CompressedFraction
+		pg.CodecBps = prim.CompressBps
+		primRes, err := hpcsim.SimulateClusterWrite(hpcsim.ClusterConfig{
+			Group: pg, Groups: g, FSBps: fsBps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Groups:           g,
+			NullMBs:          nullRes.AggregateBps / 1e6,
+			PrimacyMBs:       primRes.AggregateBps / 1e6,
+			NullSaturated:    nullRes.Saturated,
+			PrimacySaturated: primRes.Saturated,
+		})
+	}
+	return rows, nil
+}
+
+// RenderScaling prints the saturation sweep.
+func RenderScaling(rows []ScalingRow) string {
+	out := fmt.Sprintf("%8s %14s %16s\n", "groups", "null MB/s", "PRIMACY MB/s")
+	for _, r := range rows {
+		nullMark, primMark := " ", " "
+		if r.NullSaturated {
+			nullMark = "*"
+		}
+		if r.PrimacySaturated {
+			primMark = "*"
+		}
+		out += fmt.Sprintf("%8d %13.1f%s %15.1f%s\n",
+			r.Groups, r.NullMBs, nullMark, r.PrimacyMBs, primMark)
+	}
+	out += "\n(* = shared filesystem saturated; compression defers saturation by ~1/fraction)\n"
+	return out
+}

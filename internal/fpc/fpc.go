@@ -1,0 +1,250 @@
+// Package fpc implements the FPC double-precision floating-point compressor
+// of Burtscher & Ratanaworabhan (IEEE Trans. Computers 2009), one of the two
+// predictive-coding baselines the paper compares PRIMACY against (Sec. V).
+//
+// FPC predicts each value with two hash-table predictors — FCM (finite
+// context method over recent values) and DFCM (the same over value deltas) —
+// XORs the actual bits with the better prediction, and stores a 4-bit header
+// (predictor choice + leading-zero-byte count) plus the nonzero residual
+// bytes. Headers for consecutive value pairs share one byte.
+package fpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }
+
+const magic = "FPC1"
+
+// DefaultTableBits sizes the predictor hash tables (2^bits entries).
+// The original FPC exposes the same knob as its "level".
+const DefaultTableBits = 16
+
+const maxTableBits = 24
+
+// ErrCorrupt indicates a malformed stream.
+var ErrCorrupt = errors.New("fpc: corrupt stream")
+
+// Options configures the compressor.
+type Options struct {
+	// TableBits sets predictor table size to 2^TableBits entries
+	// (0 = DefaultTableBits).
+	TableBits int
+}
+
+func (o Options) tableBits() (int, error) {
+	tb := o.TableBits
+	if tb == 0 {
+		tb = DefaultTableBits
+	}
+	if tb < 4 || tb > maxTableBits {
+		return 0, fmt.Errorf("fpc: table bits %d out of range [4,%d]", tb, maxTableBits)
+	}
+	return tb, nil
+}
+
+// predictor carries the shared FCM/DFCM state. The compressor and
+// decompressor run identical state machines so predictions agree.
+type predictor struct {
+	fcm       []uint64
+	dfcm      []uint64
+	fcmHash   uint64
+	dfcmHash  uint64
+	lastValue uint64
+	mask      uint64
+}
+
+func newPredictor(tableBits int) *predictor {
+	size := 1 << tableBits
+	return &predictor{
+		fcm:  make([]uint64, size),
+		dfcm: make([]uint64, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// predict returns the two candidate predictions for the next value.
+func (p *predictor) predict() (fcmPred, dfcmPred uint64) {
+	return p.fcm[p.fcmHash], p.dfcm[p.dfcmHash] + p.lastValue
+}
+
+// update advances the state machines with the true value.
+func (p *predictor) update(v uint64) {
+	p.fcm[p.fcmHash] = v
+	p.fcmHash = ((p.fcmHash << 6) ^ (v >> 48)) & p.mask
+	delta := v - p.lastValue
+	p.dfcm[p.dfcmHash] = delta
+	p.dfcmHash = ((p.dfcmHash << 2) ^ (delta >> 40)) & p.mask
+	p.lastValue = v
+}
+
+// headerFor selects the better predictor and builds the 4-bit header:
+// bit 3 = predictor (0 FCM, 1 DFCM), bits 0-2 = leading-zero-byte code.
+// Following the original FPC, a count of 4 is encoded as 3 (code 4 is
+// remapped so codes 5-7 mean 5-7 zero bytes and an all-zero residual is
+// code 7 with a single zero byte... our variant keeps it simpler: codes
+// 0..7 mean min(count,7) zero bytes).
+func headerFor(v, fcmPred, dfcmPred uint64) (header byte, residual uint64, nres int) {
+	xf := v ^ fcmPred
+	xd := v ^ dfcmPred
+	useDFCM := leadingZeroBytes(xd) > leadingZeroBytes(xf)
+	var x uint64
+	if useDFCM {
+		x = xd
+	} else {
+		x = xf
+	}
+	lzb := leadingZeroBytes(x)
+	if lzb > 7 {
+		lzb = 7
+	}
+	header = byte(lzb)
+	if useDFCM {
+		header |= 8
+	}
+	return header, x, 8 - lzb
+}
+
+func leadingZeroBytes(x uint64) int {
+	return bits.LeadingZeros64(x) / 8
+}
+
+// Compress encodes values losslessly.
+func Compress(values []uint64, opts Options) ([]byte, error) {
+	tb, err := opts.tableBits()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(values)*7+32)
+	out = append(out, magic...)
+	out = append(out, byte(tb))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(values)))
+	out = append(out, hdr[:]...)
+
+	p := newPredictor(tb)
+	for i := 0; i < len(values); i += 2 {
+		fcmPred, dfcmPred := p.predict()
+		h1, res1, n1 := headerFor(values[i], fcmPred, dfcmPred)
+		p.update(values[i])
+		var h2 byte
+		var res2 uint64
+		var n2 int
+		if i+1 < len(values) {
+			fcmPred, dfcmPred = p.predict()
+			h2, res2, n2 = headerFor(values[i+1], fcmPred, dfcmPred)
+			p.update(values[i+1])
+		}
+		out = append(out, h1<<4|h2)
+		out = appendResidual(out, res1, n1)
+		if i+1 < len(values) {
+			out = appendResidual(out, res2, n2)
+		}
+	}
+	return out, nil
+}
+
+// appendResidual stores the low n bytes of x, most significant first.
+func appendResidual(out []byte, x uint64, n int) []byte {
+	for i := n - 1; i >= 0; i-- {
+		out = append(out, byte(x>>(8*uint(i))))
+	}
+	return out
+}
+
+// CompressFloat64s is a convenience wrapper over Compress.
+func CompressFloat64s(values []float64, opts Options) ([]byte, error) {
+	u := make([]uint64, len(values))
+	for i, v := range values {
+		u[i] = floatBits(v)
+	}
+	return Compress(u, opts)
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]uint64, error) {
+	if len(data) < len(magic)+1+8 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	tb := int(data[len(magic)])
+	if tb < 4 || tb > maxTableBits {
+		return nil, fmt.Errorf("%w: table bits %d", ErrCorrupt, tb)
+	}
+	count := binary.LittleEndian.Uint64(data[len(magic)+1:])
+	// Each value consumes at least half a header byte, so count is bounded
+	// by the remaining input; a lying header must not drive allocation.
+	if count > 1<<37 || count > uint64(len(data))*2 {
+		return nil, fmt.Errorf("%w: absurd count %d for %d bytes", ErrCorrupt, count, len(data))
+	}
+	pos := len(magic) + 1 + 8
+	out := make([]uint64, 0, count)
+	p := newPredictor(tb)
+	for uint64(len(out)) < count {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: truncated header byte", ErrCorrupt)
+		}
+		hb := data[pos]
+		pos++
+		h1, h2 := hb>>4, hb&0x0F
+		v, newPos, err := decodeOne(data, pos, h1, p)
+		if err != nil {
+			return nil, err
+		}
+		pos = newPos
+		out = append(out, v)
+		if uint64(len(out)) == count {
+			break
+		}
+		v, newPos, err = decodeOne(data, pos, h2, p)
+		if err != nil {
+			return nil, err
+		}
+		pos = newPos
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DecompressFloat64s is a convenience wrapper over Decompress.
+func DecompressFloat64s(data []byte) ([]float64, error) {
+	u, err := Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(u))
+	for i, v := range u {
+		out[i] = floatFromBits(v)
+	}
+	return out, nil
+}
+
+func decodeOne(data []byte, pos int, header byte, p *predictor) (uint64, int, error) {
+	lzb := int(header & 7)
+	nres := 8 - lzb
+	if pos+nres > len(data) {
+		return 0, 0, fmt.Errorf("%w: truncated residual", ErrCorrupt)
+	}
+	var x uint64
+	for i := 0; i < nres; i++ {
+		x = x<<8 | uint64(data[pos+i])
+	}
+	pos += nres
+	fcmPred, dfcmPred := p.predict()
+	var v uint64
+	if header&8 != 0 {
+		v = x ^ dfcmPred
+	} else {
+		v = x ^ fcmPred
+	}
+	p.update(v)
+	return v, pos, nil
+}

@@ -1,0 +1,254 @@
+package fpc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, values []uint64, opts Options) []byte {
+	t.Helper()
+	enc, err := Compress(values, opts)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(dec) != len(values) {
+		t.Fatalf("count mismatch: %d != %d", len(dec), len(values))
+	}
+	for i := range values {
+		if dec[i] != values[i] {
+			t.Fatalf("value %d: got %x want %x", i, dec[i], values[i])
+		}
+	}
+	return enc
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil, Options{})
+}
+
+func TestSingle(t *testing.T) {
+	roundTrip(t, []uint64{0xDEADBEEF}, Options{})
+}
+
+func TestOddCount(t *testing.T) {
+	roundTrip(t, []uint64{1, 2, 3}, Options{})
+}
+
+func TestAllZero(t *testing.T) {
+	enc := roundTrip(t, make([]uint64, 10_000), Options{})
+	// Perfect prediction: ~0.5 header bytes + 1 residual byte per value.
+	if len(enc) > 10_000*2 {
+		t.Fatalf("constant stream barely compressed: %d bytes", len(enc))
+	}
+}
+
+func TestLinearRampCompressesViaDFCM(t *testing.T) {
+	values := make([]float64, 10_000)
+	for i := range values {
+		values[i] = float64(i) * 0.001
+	}
+	enc, err := CompressFloat64s(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecompressFloat64s(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if dec[i] != values[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+	if float64(len(enc)) > 0.9*float64(len(values)*8) {
+		t.Fatalf("smooth ramp should compress: %d -> %d", len(values)*8, len(enc))
+	}
+}
+
+func TestSpecialFloats(t *testing.T) {
+	values := []float64{0, -0.0, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, math.SmallestNonzeroFloat64}
+	enc, err := CompressFloat64s(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecompressFloat64s(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if math.Float64bits(dec[i]) != math.Float64bits(values[i]) {
+			t.Fatalf("value %d: bits %x != %x", i, math.Float64bits(dec[i]), math.Float64bits(values[i]))
+		}
+	}
+}
+
+func TestRandomDataBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]uint64, 50_000)
+	for i := range values {
+		values[i] = rng.Uint64()
+	}
+	enc := roundTrip(t, values, Options{})
+	// Worst case: 8 residual bytes + half a header byte per value.
+	if len(enc) > len(values)*8+len(values)/2+32 {
+		t.Fatalf("expansion bound violated: %d", len(enc))
+	}
+}
+
+func TestTableSizes(t *testing.T) {
+	values := make([]uint64, 1000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range values {
+		values[i] = rng.Uint64() >> 20
+	}
+	for _, tb := range []int{4, 10, 20} {
+		roundTrip(t, values, Options{TableBits: tb})
+	}
+	if _, err := Compress(values, Options{TableBits: 3}); err == nil {
+		t.Fatal("tiny table accepted")
+	}
+	if _, err := Compress(values, Options{TableBits: 30}); err == nil {
+		t.Fatal("huge table accepted")
+	}
+}
+
+func TestHeaderFor(t *testing.T) {
+	// Exact prediction by FCM: residual 0, lzb capped at 7, one byte out.
+	h, res, n := headerFor(42, 42, 0)
+	if h != 7 || res != 0 || n != 1 {
+		t.Fatalf("exact FCM: h=%d res=%d n=%d", h, res, n)
+	}
+	// DFCM wins.
+	h, _, _ = headerFor(0x00FF, 0xFFFFFFFFFFFFFFFF, 0x00FE)
+	if h&8 == 0 {
+		t.Fatal("DFCM should be selected")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	valid, err := Compress([]uint64{1, 2, 3, 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"magic":     append([]byte("XXXX"), valid[4:]...),
+		"truncated": valid[:len(valid)-2],
+		"bad table": append(append([]byte(magic), 99), valid[5:]...),
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+// Property: arbitrary uint64 streams round-trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(values []uint64) bool {
+		enc, err := Compress(values, Options{})
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(dec, values) ||
+			(len(values) == 0 && len(dec) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float64 streams round-trip bit-exactly.
+func TestQuickFloatRoundTrip(t *testing.T) {
+	f := func(values []float64) bool {
+		enc, err := CompressFloat64s(values, Options{})
+		if err != nil {
+			return false
+		}
+		dec, err := DecompressFloat64s(enc)
+		if err != nil || len(dec) != len(values) {
+			return false
+		}
+		for i := range values {
+			if math.Float64bits(dec[i]) != math.Float64bits(values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predictable (smooth) streams compress better than white noise.
+func TestQuickSmoothBeatsNoise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4096
+		smooth := make([]float64, n)
+		noise := make([]uint64, n)
+		for i := range smooth {
+			smooth[i] = math.Sin(float64(i) / 100)
+			noise[i] = rng.Uint64()
+		}
+		encS, err := CompressFloat64s(smooth, Options{})
+		if err != nil {
+			return false
+		}
+		encN, err := Compress(noise, Options{})
+		if err != nil {
+			return false
+		}
+		return len(encS) < len(encN)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 1<<17)
+	for i := range values {
+		values[i] = math.Sin(float64(i)/50) + rng.Float64()*1e-6
+	}
+	b.SetBytes(int64(len(values) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressFloat64s(values, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 1<<17)
+	for i := range values {
+		values[i] = math.Sin(float64(i)/50) + rng.Float64()*1e-6
+	}
+	enc, err := CompressFloat64s(values, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(values) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package fpc
+
+import "testing"
+
+// FuzzDecompress: the FCM/DFCM decoder must never panic on adversarial
+// input.
+func FuzzDecompress(f *testing.F) {
+	valid, err := Compress([]uint64{1, 2, 3, 4, 5}, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("FPC1"))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(data) // must not panic or OOM
+	})
+}

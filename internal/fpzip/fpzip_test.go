@@ -1,0 +1,250 @@
+package fpzip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, values []float64, d Dims) []byte {
+	t.Helper()
+	enc, err := Compress(values, d)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	dec, gotDims, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if gotDims != d.normalized() {
+		t.Fatalf("dims: got %+v want %+v", gotDims, d.normalized())
+	}
+	if len(dec) != len(values) {
+		t.Fatalf("count: %d != %d", len(dec), len(values))
+	}
+	for i := range values {
+		if math.Float64bits(dec[i]) != math.Float64bits(values[i]) {
+			t.Fatalf("value %d: %x != %x", i, math.Float64bits(dec[i]), math.Float64bits(values[i]))
+		}
+	}
+	return enc
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil, Dims{})
+}
+
+func TestSingle(t *testing.T) {
+	roundTrip(t, []float64{math.Pi}, Dims{NX: 1})
+}
+
+func TestSmooth1D(t *testing.T) {
+	values := make([]float64, 10_000)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 200)
+	}
+	enc := roundTrip(t, values, Dims{NX: len(values)})
+	if float64(len(enc)) > 0.95*float64(len(values)*8) {
+		t.Fatalf("smooth 1D should compress: %d -> %d", len(values)*8, len(enc))
+	}
+}
+
+func TestSmooth2D(t *testing.T) {
+	nx, ny := 64, 64
+	values := make([]float64, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			values[y*nx+x] = float64(x) + 2*float64(y) // planar: Lorenzo exact
+		}
+	}
+	enc := roundTrip(t, values, Dims{NX: nx, NY: ny})
+	// Planar fields are predicted exactly almost everywhere.
+	if len(enc) > nx*ny {
+		t.Fatalf("planar 2D should compress hugely: %d -> %d", nx*ny*8, len(enc))
+	}
+}
+
+func TestSmooth3D(t *testing.T) {
+	nx, ny, nz := 16, 16, 16
+	values := make([]float64, nx*ny*nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				values[(z*ny+y)*nx+x] = float64(x) - float64(y) + 3*float64(z)
+			}
+		}
+	}
+	enc := roundTrip(t, values, Dims{NX: nx, NY: ny, NZ: nz})
+	if len(enc) > nx*ny*nz {
+		t.Fatalf("planar 3D should compress hugely: %d bytes", len(enc))
+	}
+}
+
+func TestDimensionalityHelps(t *testing.T) {
+	// The same planar 2D field compressed as 1D loses the row predictor
+	// and should compress worse — the dimensional-correlation dependence
+	// the paper exploits in Sec. V.
+	nx, ny := 128, 128
+	values := make([]float64, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			values[y*nx+x] = 3*float64(x) + 7*float64(y)
+		}
+	}
+	enc2d, err := Compress(values, Dims{NX: nx, NY: ny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1d, err := Compress(values, Dims{NX: nx * ny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc2d) >= len(enc1d) {
+		t.Fatalf("2D prediction should beat 1D on planar data: %d vs %d",
+			len(enc2d), len(enc1d))
+	}
+}
+
+func TestShuffledDataHurts(t *testing.T) {
+	// Reorganized data destroys dimensional correlation (paper Sec. V:
+	// "varying data organization can have a significantly negative
+	// impact" on predictive coders).
+	values := make([]float64, 10_000)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 100)
+	}
+	encSmooth, err := Compress(values, Dims{NX: len(values)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]float64(nil), values...)
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	encShuf, err := Compress(shuffled, Dims{NX: len(shuffled)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encShuf) <= len(encSmooth) {
+		t.Fatalf("shuffling should hurt prediction: %d vs %d", len(encShuf), len(encSmooth))
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	values := []float64{0, -0.0, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 1, -1}
+	roundTrip(t, values, Dims{NX: len(values)})
+}
+
+func TestBadDims(t *testing.T) {
+	if _, err := Compress(make([]float64, 10), Dims{NX: 3, NY: 3}); err == nil {
+		t.Fatal("mismatched grid accepted")
+	}
+	if _, err := Compress(make([]float64, 10), Dims{NX: -10}); err == nil {
+		t.Fatal("negative dims accepted")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	valid, err := Compress([]float64{1, 2, 3, 4}, Dims{NX: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"magic":     append([]byte("ZZZZ"), valid[4:]...),
+		"truncated": valid[:len(valid)-1],
+		"bad grid":  append([]byte(nil), valid[:36]...),
+	}
+	for name, data := range cases {
+		if _, _, err := Decompress(data); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+// Property: arbitrary values round-trip bit-exactly in 1D.
+func TestQuickRoundTrip1D(t *testing.T) {
+	f := func(values []float64) bool {
+		enc, err := Compress(values, Dims{NX: len(values)})
+		if err != nil {
+			return len(values) == 0 // NX=0 normalizes to 1, mismatch for 0 values is an error path
+		}
+		dec, _, err := Decompress(enc)
+		if err != nil || len(dec) != len(values) {
+			return false
+		}
+		for i := range values {
+			if math.Float64bits(dec[i]) != math.Float64bits(values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: 2D grids of any factorization round-trip.
+func TestQuickRoundTrip2D(t *testing.T) {
+	f := func(seed int64, nx8, ny8 uint8) bool {
+		nx, ny := int(nx8)%24+1, int(ny8)%24+1
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, nx*ny)
+		for i := range values {
+			values[i] = rng.NormFloat64() * 100
+		}
+		enc, err := Compress(values, Dims{NX: nx, NY: ny})
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decompress(enc)
+		if err != nil || len(dec) != len(values) {
+			return false
+		}
+		for i := range values {
+			if math.Float64bits(dec[i]) != math.Float64bits(values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	values := make([]float64, 1<<17)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 64)
+	}
+	b.SetBytes(int64(len(values) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(values, Dims{NX: len(values)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	values := make([]float64, 1<<17)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 64)
+	}
+	enc, err := Compress(values, Dims{NX: len(values)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(values) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

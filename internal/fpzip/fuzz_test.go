@@ -1,0 +1,21 @@
+package fpzip
+
+import "testing"
+
+// FuzzDecompress: the predictive decoder must never panic on adversarial
+// input.
+func FuzzDecompress(f *testing.F) {
+	valid, err := Compress([]float64{1, 2, 3, 4, 5, 6}, Dims{NX: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("FPZ1"))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)-1] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = Decompress(data) // must not panic or OOM
+	})
+}

@@ -1,0 +1,199 @@
+// Package freq implements PRIMACY's frequency-ranked ID mapping (Sec. II-C
+// and II-F of the paper): a bijection between the 2-byte high-order
+// sequences observed in a chunk and identification values assigned in order
+// of descending frequency, so the most common byte pairs become the smallest
+// IDs (maximizing 0-byte repeatability), plus the per-chunk index metadata
+// that lets a decoder invert the mapping.
+package freq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SequenceSpace is the number of possible 2-byte sequences.
+const SequenceSpace = 65536
+
+var (
+	// ErrCorruptIndex indicates malformed index metadata.
+	ErrCorruptIndex = errors.New("freq: corrupt index")
+	// ErrUnmappedSequence indicates encode input containing a sequence the
+	// index does not cover.
+	ErrUnmappedSequence = errors.New("freq: sequence not in index")
+	// ErrBadID indicates decode input containing an ID beyond the index.
+	ErrBadID = errors.New("freq: ID out of range")
+	// ErrOddLength indicates a byte slice that is not a whole number of
+	// 2-byte sequences.
+	ErrOddLength = errors.New("freq: odd input length")
+)
+
+// Histogram counts occurrences of each 2-byte big-endian sequence.
+// The returned slice is indexed by sequence value and has SequenceSpace
+// entries.
+func Histogram(hi []byte) ([]uint32, error) {
+	if len(hi)%2 != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrOddLength, len(hi))
+	}
+	counts := make([]uint32, SequenceSpace)
+	for i := 0; i < len(hi); i += 2 {
+		counts[binary.BigEndian.Uint16(hi[i:])]++
+	}
+	return counts, nil
+}
+
+// Index is the bijective sequence<->ID mapping for one chunk.
+type Index struct {
+	// seqByID[id] is the original 2-byte sequence assigned that ID.
+	seqByID []uint16
+	// idBySeq maps sequence -> ID+1 (0 means unmapped); dense array for
+	// O(1) encoding.
+	idBySeq []uint32
+}
+
+// BuildIndex constructs the mapping from a histogram: sequences are ranked
+// by descending frequency, ties broken by ascending sequence value (the
+// paper: "traversing ascending byte-sequences sorted by descending
+// frequency"). Zero-frequency sequences receive no ID.
+func BuildIndex(counts []uint32) (*Index, error) {
+	if len(counts) != SequenceSpace {
+		return nil, fmt.Errorf("freq: histogram size %d, want %d", len(counts), SequenceSpace)
+	}
+	type entry struct {
+		seq   uint16
+		count uint32
+	}
+	entries := make([]entry, 0, 2048)
+	for seq, c := range counts {
+		if c > 0 {
+			entries = append(entries, entry{uint16(seq), c})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].count != entries[b].count {
+			return entries[a].count > entries[b].count
+		}
+		return entries[a].seq < entries[b].seq
+	})
+	idx := &Index{
+		seqByID: make([]uint16, len(entries)),
+		idBySeq: make([]uint32, SequenceSpace),
+	}
+	for id, e := range entries {
+		idx.seqByID[id] = e.seq
+		idx.idBySeq[e.seq] = uint32(id) + 1
+	}
+	return idx, nil
+}
+
+// NumSequences reports how many distinct sequences the index covers.
+func (x *Index) NumSequences() int { return len(x.seqByID) }
+
+// IDFor returns the ID assigned to seq, or (0, false) if unmapped.
+func (x *Index) IDFor(seq uint16) (uint16, bool) {
+	v := x.idBySeq[seq]
+	if v == 0 {
+		return 0, false
+	}
+	return uint16(v - 1), true
+}
+
+// SequenceFor returns the original sequence for an ID.
+func (x *Index) SequenceFor(id uint16) (uint16, error) {
+	if int(id) >= len(x.seqByID) {
+		return 0, fmt.Errorf("%w: %d >= %d", ErrBadID, id, len(x.seqByID))
+	}
+	return x.seqByID[id], nil
+}
+
+// Encode maps a row-major N×2 high-order byte matrix to an N×2 ID matrix
+// (big-endian IDs, row-major). Every sequence must be covered by the index.
+func (x *Index) Encode(hi []byte) ([]byte, error) {
+	if len(hi)%2 != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrOddLength, len(hi))
+	}
+	out := make([]byte, len(hi))
+	for i := 0; i < len(hi); i += 2 {
+		seq := binary.BigEndian.Uint16(hi[i:])
+		v := x.idBySeq[seq]
+		if v == 0 {
+			return nil, fmt.Errorf("%w: %#04x at element %d", ErrUnmappedSequence, seq, i/2)
+		}
+		binary.BigEndian.PutUint16(out[i:], uint16(v-1))
+	}
+	return out, nil
+}
+
+// Decode inverts Encode.
+func (x *Index) Decode(ids []byte) ([]byte, error) {
+	if len(ids)%2 != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrOddLength, len(ids))
+	}
+	out := make([]byte, len(ids))
+	for i := 0; i < len(ids); i += 2 {
+		id := binary.BigEndian.Uint16(ids[i:])
+		if int(id) >= len(x.seqByID) {
+			return nil, fmt.Errorf("%w: %d at element %d", ErrBadID, id, i/2)
+		}
+		binary.BigEndian.PutUint16(out[i:], x.seqByID[id])
+	}
+	return out, nil
+}
+
+// Marshal serializes the index as metadata: uint16 count K then K big-endian
+// sequences in ID order. (Sec. II-F: "an indexing file per each chunk".)
+func (x *Index) Marshal() []byte {
+	out := make([]byte, 4+2*len(x.seqByID))
+	binary.BigEndian.PutUint32(out, uint32(len(x.seqByID)))
+	for id, seq := range x.seqByID {
+		binary.BigEndian.PutUint16(out[4+2*id:], seq)
+	}
+	return out
+}
+
+// UnmarshalIndex reconstructs an index from Marshal output. It validates
+// that sequences are unique (the mapping must be bijective).
+func UnmarshalIndex(data []byte) (*Index, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: short header", ErrCorruptIndex)
+	}
+	k := binary.BigEndian.Uint32(data)
+	if k > SequenceSpace {
+		return nil, fmt.Errorf("%w: %d sequences", ErrCorruptIndex, k)
+	}
+	if len(data) != 4+2*int(k) {
+		return nil, fmt.Errorf("%w: length %d for %d sequences", ErrCorruptIndex, len(data), k)
+	}
+	idx := &Index{
+		seqByID: make([]uint16, k),
+		idBySeq: make([]uint32, SequenceSpace),
+	}
+	for id := 0; id < int(k); id++ {
+		seq := binary.BigEndian.Uint16(data[4+2*id:])
+		if idx.idBySeq[seq] != 0 {
+			return nil, fmt.Errorf("%w: duplicate sequence %#04x", ErrCorruptIndex, seq)
+		}
+		idx.seqByID[id] = seq
+		idx.idBySeq[seq] = uint32(id) + 1
+	}
+	return idx, nil
+}
+
+// MarshalledSize reports the metadata size in bytes for K sequences.
+func MarshalledSize(k int) int { return 4 + 2*k }
+
+// Covers reports whether every sequence present in hi is mapped by the
+// index — used by the first-chunk-index reuse mode to decide whether a new
+// index must be emitted.
+func (x *Index) Covers(hi []byte) (bool, error) {
+	if len(hi)%2 != 0 {
+		return false, fmt.Errorf("%w: %d", ErrOddLength, len(hi))
+	}
+	for i := 0; i < len(hi); i += 2 {
+		if x.idBySeq[binary.BigEndian.Uint16(hi[i:])] == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

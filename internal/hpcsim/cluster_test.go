@@ -1,0 +1,109 @@
+package hpcsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func clusterGroup() Config {
+	return Config{
+		Rho:                8,
+		Timesteps:          2,
+		ChunkBytes:         3 << 20,
+		CompressedFraction: 1,
+		NetworkBps:         1200e6,
+		DiskBps:            12e6, // per-group injection bandwidth
+	}
+}
+
+func TestClusterScalesLinearlyBelowSaturation(t *testing.T) {
+	fs := 96e6 // saturates around 8 uncompressed groups
+	one, err := SimulateClusterWrite(ClusterConfig{Group: clusterGroup(), Groups: 1, FSBps: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := SimulateClusterWrite(ClusterConfig{Group: clusterGroup(), Groups: 4, FSBps: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := four.AggregateBps / one.AggregateBps
+	if ratio < 3.2 || ratio > 4.2 {
+		t.Fatalf("4-group scaling ratio %.2f, want near 4", ratio)
+	}
+	if one.Saturated || four.Saturated {
+		t.Fatal("should not saturate below capacity")
+	}
+}
+
+func TestClusterSaturates(t *testing.T) {
+	fs := 96e6
+	big, err := SimulateClusterWrite(ClusterConfig{Group: clusterGroup(), Groups: 32, FSBps: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !big.Saturated {
+		t.Fatalf("32 groups over an 8-group filesystem should saturate (busy %.2f)", big.FSBusyFrac)
+	}
+	// Aggregate throughput caps at the filesystem bandwidth.
+	if big.AggregateBps > fs*1.05 {
+		t.Fatalf("aggregate %.1f MB/s exceeds filesystem %.1f MB/s",
+			big.AggregateBps/1e6, fs/1e6)
+	}
+}
+
+func TestCompressionDefersSaturation(t *testing.T) {
+	fs := 96e6
+	g := clusterGroup()
+	null16, err := SimulateClusterWrite(ClusterConfig{Group: g, Groups: 16, FSBps: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := g
+	comp.CompressedFraction = 0.5
+	comp.CodecBps = 100e6
+	comp16, err := SimulateClusterWrite(ClusterConfig{Group: comp, Groups: 16, FSBps: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp16.AggregateBps <= null16.AggregateBps {
+		t.Fatalf("compression should lift saturated aggregate: %.1f <= %.1f MB/s",
+			comp16.AggregateBps/1e6, null16.AggregateBps/1e6)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := SimulateClusterWrite(ClusterConfig{Group: clusterGroup(), Groups: 0, FSBps: 1e6}); err == nil {
+		t.Fatal("groups=0 accepted")
+	}
+	if _, err := SimulateClusterWrite(ClusterConfig{Group: clusterGroup(), Groups: 1, FSBps: 0}); err == nil {
+		t.Fatal("fs=0 accepted")
+	}
+	bad := clusterGroup()
+	bad.Rho = 0
+	if _, err := SimulateClusterWrite(ClusterConfig{Group: bad, Groups: 1, FSBps: 1e6}); err == nil {
+		t.Fatal("bad group accepted")
+	}
+}
+
+// Property: aggregate throughput is monotone non-decreasing in group count
+// (more writers never reduce total progress in this model).
+func TestQuickClusterMonotone(t *testing.T) {
+	f := func(seed uint8) bool {
+		fs := 50e6 + float64(seed)*1e6
+		prev := 0.0
+		for _, g := range []int{1, 2, 4, 8, 16} {
+			res, err := SimulateClusterWrite(ClusterConfig{Group: clusterGroup(), Groups: g, FSBps: fs})
+			if err != nil {
+				return false
+			}
+			if res.AggregateBps < prev*0.999 {
+				return false
+			}
+			prev = res.AggregateBps
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

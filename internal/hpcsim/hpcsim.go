@@ -1,0 +1,207 @@
+// Package hpcsim is a discrete-event simulator of the staging I/O
+// environment the paper evaluates on (Jaguar XK6 + Lustre + ADIOS-style
+// staging): ρ compute nodes per I/O node generate one chunk per
+// bulk-synchronous timestep, optionally precondition+compress it, ship it
+// over the I/O node's shared collective network, and the I/O node writes it
+// to a shared disk. Reads run the inverse pipeline.
+//
+// The simulator replaces the paper's hardware testbed: per-stage service
+// times come from configurable throughputs (the compression throughputs are
+// measured on the real codecs by the experiment harness), and the shared
+// network and disk are FCFS single servers that create the contention the
+// model's (1+ρ) terms approximate.
+package hpcsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadConfig indicates an unusable configuration.
+var ErrBadConfig = errors.New("hpcsim: invalid config")
+
+// Config describes one staging group and workload.
+type Config struct {
+	// Rho is the number of compute nodes sharing one I/O node.
+	Rho int
+	// Timesteps is how many bulk-synchronous output steps to simulate.
+	Timesteps int
+	// ChunkBytes is the raw chunk size each compute node emits per step.
+	ChunkBytes float64
+	// CompressedFraction is shipped/raw bytes (1 = no compression).
+	CompressedFraction float64
+	// CodecBps is the per-compute-node compression (write) or decompression
+	// (read) throughput over raw bytes; 0 means no codec stage.
+	CodecBps float64
+	// PrecBps is the per-compute-node preconditioner throughput over raw
+	// bytes; 0 means no preconditioner stage.
+	PrecBps float64
+	// NetworkBps is the I/O node's shared collective network throughput.
+	NetworkBps float64
+	// DiskBps is the shared disk throughput (write or read).
+	DiskBps float64
+	// JitterFrac adds +/- uniform jitter to every service time (e.g. 0.05);
+	// deterministic under Seed.
+	JitterFrac float64
+	// Seed drives the jitter.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Rho < 1 || c.Timesteps < 1 {
+		return fmt.Errorf("%w: rho=%d timesteps=%d", ErrBadConfig, c.Rho, c.Timesteps)
+	}
+	if c.ChunkBytes <= 0 || c.NetworkBps <= 0 || c.DiskBps <= 0 {
+		return fmt.Errorf("%w: chunk=%v net=%v disk=%v", ErrBadConfig,
+			c.ChunkBytes, c.NetworkBps, c.DiskBps)
+	}
+	if c.CompressedFraction <= 0 || c.CompressedFraction > 1.5 {
+		return fmt.Errorf("%w: fraction=%v", ErrBadConfig, c.CompressedFraction)
+	}
+	if c.JitterFrac < 0 || c.JitterFrac >= 1 {
+		return fmt.Errorf("%w: jitter=%v", ErrBadConfig, c.JitterFrac)
+	}
+	return nil
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// TotalSeconds is the makespan across all timesteps.
+	TotalSeconds float64
+	// Throughput is raw bytes moved per second per staging group
+	// (the paper's τ = ρC/t, aggregated over timesteps).
+	Throughput float64
+	// Stage time totals (summed over nodes and steps) for diagnosis.
+	CodecSeconds    float64
+	PrecSeconds     float64
+	NetworkSeconds  float64
+	DiskSeconds     float64
+	NetworkBusyFrac float64
+	DiskBusyFrac    float64
+}
+
+// jitterer perturbs service times reproducibly.
+type jitterer struct {
+	rng  *rand.Rand
+	frac float64
+}
+
+func (j *jitterer) apply(t float64) float64 {
+	if j.frac == 0 {
+		return t
+	}
+	return t * (1 + j.frac*(2*j.rng.Float64()-1))
+}
+
+// fcfs is a single FCFS server; jobs arriving at time a with service s
+// complete at max(a, free)+s.
+type fcfs struct {
+	free float64
+	busy float64
+}
+
+func (f *fcfs) serve(arrival, service float64) (completion float64) {
+	start := arrival
+	if f.free > start {
+		start = f.free
+	}
+	f.free = start + service
+	f.busy += service
+	return f.free
+}
+
+// SimulateWrite runs the write pipeline: [prec+codec at compute nodes] ->
+// shared network -> shared disk, with a barrier between timesteps
+// (bulk-synchronous checkpointing).
+func SimulateWrite(cfg Config) (Result, error) {
+	return simulate(cfg, true)
+}
+
+// SimulateRead runs the inverse pipeline: shared disk -> shared network ->
+// [codec+prec at compute nodes].
+func SimulateRead(cfg Config) (Result, error) {
+	return simulate(cfg, false)
+}
+
+func simulate(cfg Config, write bool) (Result, error) {
+	var res Result
+	if err := cfg.validate(); err != nil {
+		return res, err
+	}
+	jit := &jitterer{rng: rand.New(rand.NewSource(cfg.Seed)), frac: cfg.JitterFrac}
+	net := &fcfs{}
+	disk := &fcfs{}
+	now := 0.0
+	shipped := cfg.ChunkBytes * cfg.CompressedFraction
+
+	for step := 0; step < cfg.Timesteps; step++ {
+		var stepEnd float64
+		if write {
+			// Each compute node preconditions+compresses in parallel, then
+			// contends for the network, then the I/O node writes to disk.
+			type arrival struct {
+				t    float64
+				node int
+			}
+			arrivals := make([]arrival, cfg.Rho)
+			for nodeID := 0; nodeID < cfg.Rho; nodeID++ {
+				t := now
+				if cfg.PrecBps > 0 {
+					d := jit.apply(cfg.ChunkBytes / cfg.PrecBps)
+					t += d
+					res.PrecSeconds += d
+				}
+				if cfg.CodecBps > 0 {
+					d := jit.apply(cfg.ChunkBytes / cfg.CodecBps)
+					t += d
+					res.CodecSeconds += d
+				}
+				arrivals[nodeID] = arrival{t, nodeID}
+			}
+			sort.Slice(arrivals, func(a, b int) bool { return arrivals[a].t < arrivals[b].t })
+			for _, a := range arrivals {
+				netDone := net.serve(a.t, jit.apply(shipped/cfg.NetworkBps))
+				res.NetworkSeconds += shipped / cfg.NetworkBps
+				diskDone := disk.serve(netDone, jit.apply(shipped/cfg.DiskBps))
+				res.DiskSeconds += shipped / cfg.DiskBps
+				if diskDone > stepEnd {
+					stepEnd = diskDone
+				}
+			}
+		} else {
+			// Read: disk reads are serialized at the I/O node, then each
+			// chunk crosses the network and is decoded at its compute node.
+			for nodeID := 0; nodeID < cfg.Rho; nodeID++ {
+				diskDone := disk.serve(now, jit.apply(shipped/cfg.DiskBps))
+				res.DiskSeconds += shipped / cfg.DiskBps
+				netDone := net.serve(diskDone, jit.apply(shipped/cfg.NetworkBps))
+				res.NetworkSeconds += shipped / cfg.NetworkBps
+				t := netDone
+				if cfg.CodecBps > 0 {
+					d := jit.apply(cfg.ChunkBytes / cfg.CodecBps)
+					t += d
+					res.CodecSeconds += d
+				}
+				if cfg.PrecBps > 0 {
+					d := jit.apply(cfg.ChunkBytes / cfg.PrecBps)
+					t += d
+					res.PrecSeconds += d
+				}
+				if t > stepEnd {
+					stepEnd = t
+				}
+			}
+		}
+		now = stepEnd // bulk-synchronous barrier
+	}
+	res.TotalSeconds = now
+	rawBytes := cfg.ChunkBytes * float64(cfg.Rho) * float64(cfg.Timesteps)
+	if now > 0 {
+		res.Throughput = rawBytes / now
+		res.NetworkBusyFrac = net.busy / now
+		res.DiskBusyFrac = disk.busy / now
+	}
+	return res, nil
+}

@@ -1,0 +1,259 @@
+package hpcsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// nullWrite is the paper's uncompressed baseline on Jaguar-ish parameters.
+func nullWrite() Config {
+	return Config{
+		Rho:                8,
+		Timesteps:          4,
+		ChunkBytes:         3 << 20,
+		CompressedFraction: 1,
+		NetworkBps:         300e6,
+		DiskBps:            12e6,
+	}
+}
+
+func TestNullWriteMatchesHandComputation(t *testing.T) {
+	cfg := nullWrite()
+	cfg.Timesteps = 1
+	res, err := SimulateWrite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 chunks arrive at t=0; network serializes 8 transfers, disk
+	// serializes behind it. Disk dominates: makespan ≈ net(first) + 8*disk.
+	c := float64(3 << 20)
+	want := c/300e6 + 8*c/12e6
+	if math.Abs(res.TotalSeconds-want)/want > 0.01 {
+		t.Fatalf("makespan %.4f want %.4f", res.TotalSeconds, want)
+	}
+}
+
+func TestCompressionImprovesWriteOnSlowDisk(t *testing.T) {
+	null, err := SimulateWrite(nullWrite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := nullWrite()
+	prim.CompressedFraction = 0.78
+	prim.CodecBps = 60e6
+	prim.PrecBps = 800e6
+	res, err := SimulateWrite(prim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= null.Throughput {
+		t.Fatalf("compression should win on a slow disk: %.2f <= %.2f MB/s",
+			res.Throughput/1e6, null.Throughput/1e6)
+	}
+}
+
+func TestSlowCodecHurtsWrite(t *testing.T) {
+	null, err := SimulateWrite(nullWrite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := nullWrite()
+	bad.CompressedFraction = 0.97 // weak ratio
+	bad.CodecBps = 2e6            // very slow compressor (bzlib2-like)
+	res, err := SimulateWrite(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput >= null.Throughput {
+		t.Fatalf("slow codec with weak ratio should lose: %.2f >= %.2f MB/s",
+			res.Throughput/1e6, null.Throughput/1e6)
+	}
+}
+
+func TestVanillaDecompressionHurtsRead(t *testing.T) {
+	// Paper Sec. IV-D: vanilla zlib/lzo reads are slower than null reads.
+	cfg := nullWrite()
+	cfg.DiskBps = 200e6
+	null, err := SimulateRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	van := cfg
+	van.CompressedFraction = 0.95
+	van.CodecBps = 80e6
+	res, err := SimulateRead(van)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput >= null.Throughput {
+		t.Fatalf("vanilla read should lose: %.2f >= %.2f MB/s",
+			res.Throughput/1e6, null.Throughput/1e6)
+	}
+}
+
+func TestFastDecompressionHelpsRead(t *testing.T) {
+	// PRIMACY's read gain: fast decode + smaller transfer.
+	cfg := nullWrite()
+	cfg.DiskBps = 60e6 // disk-bound read
+	null, err := SimulateRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := cfg
+	prim.CompressedFraction = 0.78
+	prim.CodecBps = 300e6
+	prim.PrecBps = 900e6
+	res, err := SimulateRead(prim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= null.Throughput {
+		t.Fatalf("PRIMACY read should win on a disk-bound read: %.2f <= %.2f MB/s",
+			res.Throughput/1e6, null.Throughput/1e6)
+	}
+}
+
+func TestJitterDeterministicUnderSeed(t *testing.T) {
+	cfg := nullWrite()
+	cfg.JitterFrac = 0.1
+	cfg.Seed = 42
+	a, err := SimulateWrite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateWrite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSeconds != b.TotalSeconds {
+		t.Fatal("same seed produced different results")
+	}
+	cfg.Seed = 43
+	c, err := SimulateWrite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSeconds == c.TotalSeconds {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestBusyFractions(t *testing.T) {
+	res, err := SimulateWrite(nullWrite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskBusyFrac < 0.9 || res.DiskBusyFrac > 1.0001 {
+		t.Fatalf("slow disk should be nearly saturated: %.3f", res.DiskBusyFrac)
+	}
+	if res.NetworkBusyFrac >= res.DiskBusyFrac {
+		t.Fatalf("network should idle behind the disk: net=%.3f disk=%.3f",
+			res.NetworkBusyFrac, res.DiskBusyFrac)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := nullWrite()
+	bad.Rho = 0
+	if _, err := SimulateWrite(bad); err == nil {
+		t.Fatal("rho=0 accepted")
+	}
+	bad = nullWrite()
+	bad.ChunkBytes = 0
+	if _, err := SimulateWrite(bad); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+	bad = nullWrite()
+	bad.CompressedFraction = 0
+	if _, err := SimulateWrite(bad); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	bad = nullWrite()
+	bad.JitterFrac = 1
+	if _, err := SimulateWrite(bad); err == nil {
+		t.Fatal("jitter=1 accepted")
+	}
+	bad = nullWrite()
+	bad.Timesteps = 0
+	if _, err := SimulateRead(bad); err == nil {
+		t.Fatal("0 timesteps accepted")
+	}
+}
+
+func TestThroughputScalesWithTimesteps(t *testing.T) {
+	// Steady-state throughput should be roughly timestep-independent.
+	one := nullWrite()
+	one.Timesteps = 1
+	many := nullWrite()
+	many.Timesteps = 16
+	a, err := SimulateWrite(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateWrite(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Throughput-b.Throughput)/a.Throughput > 0.1 {
+		t.Fatalf("throughput not steady: %v vs %v", a.Throughput, b.Throughput)
+	}
+}
+
+// Property: smaller compressed fraction never reduces throughput when the
+// codec is free (fraction is the only change).
+func TestQuickMonotoneInFraction(t *testing.T) {
+	f := func(seed uint8) bool {
+		frac := 0.3 + float64(seed%60)/100
+		a := nullWrite()
+		a.CompressedFraction = frac
+		b := nullWrite()
+		b.CompressedFraction = frac + 0.05
+		ra, err := SimulateWrite(a)
+		if err != nil {
+			return false
+		}
+		rb, err := SimulateWrite(b)
+		if err != nil {
+			return false
+		}
+		return ra.Throughput >= rb.Throughput*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulator agrees with the analytic model's null write case
+// in the disk-bound regime the paper evaluates (the model's (1+rho)/theta
+// contention term is pessimistic when the network pipeline hides behind a
+// fast disk, so agreement is only claimed while the disk dominates).
+func TestQuickNullCaseNearModel(t *testing.T) {
+	f := func(seed uint8) bool {
+		cfg := nullWrite()
+		cfg.DiskBps = 8e6 + float64(seed)*5e4
+		res, err := SimulateWrite(cfg)
+		if err != nil {
+			return false
+		}
+		// Model: ttotal = (1+rho)C/theta + rho*C/mu; tau = rho*C/ttotal.
+		c := cfg.ChunkBytes
+		ttotal := (1+float64(cfg.Rho))*c/cfg.NetworkBps + float64(cfg.Rho)*c/cfg.DiskBps
+		tau := float64(cfg.Rho) * c / ttotal
+		rel := math.Abs(res.Throughput-tau) / tau
+		return rel < 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulateWrite(b *testing.B) {
+	cfg := nullWrite()
+	cfg.Timesteps = 32
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateWrite(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

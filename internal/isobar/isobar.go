@@ -1,0 +1,313 @@
+// Package isobar reimplements the ISOBAR preconditioner (Schendel et al.,
+// ICDE'12) that PRIMACY delegates the 6 low-order mantissa bytes to
+// (Sec. II-G of the paper): a sampling analyzer estimates the
+// compressibility of each byte column and a partitioner routes compressible
+// columns through the solver while incompressible columns are stored raw,
+// avoiding wasted compressor work.
+package isobar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultSampleBytes is how many bytes per column the analyzer inspects;
+// sampling (rather than full scans) is what makes ISOBAR cheap.
+const DefaultSampleBytes = 64 << 10
+
+// DefaultEntropyThreshold is the per-column byte entropy (bits/byte) below
+// which a column is classified compressible. Standard byte-level entropy
+// coders gain little above ~7.9 bits/byte; the margin buys solver speed.
+const DefaultEntropyThreshold = 7.8
+
+// DefaultTopFreqThreshold classifies a column compressible when its most
+// frequent byte exceeds this fraction, even at high entropy (run-length
+// gains remain available to the solver).
+const DefaultTopFreqThreshold = 0.04
+
+// ErrBadShape indicates input whose length is not a multiple of the width.
+var ErrBadShape = errors.New("isobar: data length not a multiple of width")
+
+// Mode selects the compressibility classifier.
+type Mode uint8
+
+const (
+	// ModeByteEntropy classifies by sampled byte entropy and top-byte
+	// frequency (this package's default).
+	ModeByteEntropy Mode = iota
+	// ModeBitFrequency follows the ISOBAR paper more literally: a column is
+	// compressible when enough of its bit positions are skewed away from
+	// p = 0.5 (Schendel et al., ICDE'12, Sec. III: "bit-level frequency
+	// analysis in regards to whether frequency of bits in certain positions
+	// will be adequate").
+	ModeBitFrequency
+)
+
+// DefaultBitSkewThreshold is |p-0.5| above which a bit position counts as
+// skewed in ModeBitFrequency.
+const DefaultBitSkewThreshold = 0.05
+
+// DefaultSkewedBitsRequired is how many of a column's 8 bit positions must
+// be skewed for the column to classify compressible in ModeBitFrequency.
+const DefaultSkewedBitsRequired = 2
+
+// Options tunes the analyzer.
+type Options struct {
+	// Mode selects the classifier (default ModeByteEntropy).
+	Mode Mode
+	// SampleBytes caps how many bytes per column are inspected
+	// (0 = DefaultSampleBytes; negative = scan everything).
+	SampleBytes int
+	// EntropyThreshold overrides DefaultEntropyThreshold when > 0.
+	EntropyThreshold float64
+	// TopFreqThreshold overrides DefaultTopFreqThreshold when > 0.
+	TopFreqThreshold float64
+	// BitSkewThreshold overrides DefaultBitSkewThreshold when > 0
+	// (ModeBitFrequency only).
+	BitSkewThreshold float64
+	// SkewedBitsRequired overrides DefaultSkewedBitsRequired when > 0
+	// (ModeBitFrequency only).
+	SkewedBitsRequired int
+}
+
+func (o Options) sampleBytes() int {
+	switch {
+	case o.SampleBytes == 0:
+		return DefaultSampleBytes
+	case o.SampleBytes < 0:
+		return math.MaxInt
+	default:
+		return o.SampleBytes
+	}
+}
+
+func (o Options) entropyThreshold() float64 {
+	if o.EntropyThreshold > 0 {
+		return o.EntropyThreshold
+	}
+	return DefaultEntropyThreshold
+}
+
+func (o Options) topFreqThreshold() float64 {
+	if o.TopFreqThreshold > 0 {
+		return o.TopFreqThreshold
+	}
+	return DefaultTopFreqThreshold
+}
+
+func (o Options) bitSkewThreshold() float64 {
+	if o.BitSkewThreshold > 0 {
+		return o.BitSkewThreshold
+	}
+	return DefaultBitSkewThreshold
+}
+
+func (o Options) skewedBitsRequired() int {
+	if o.SkewedBitsRequired > 0 {
+		return o.SkewedBitsRequired
+	}
+	return DefaultSkewedBitsRequired
+}
+
+// ColumnReport holds the analyzer's verdict for one byte column.
+type ColumnReport struct {
+	// Entropy is the sampled byte entropy in bits/byte.
+	Entropy float64
+	// TopFrequency is the sampled frequency of the most common byte.
+	TopFrequency float64
+	// SkewedBits counts bit positions with |p-0.5| above the skew
+	// threshold (filled in ModeBitFrequency).
+	SkewedBits int
+	// Compressible is the classification used by the partitioner.
+	Compressible bool
+}
+
+// Analysis is the verdict for an N×width byte matrix.
+type Analysis struct {
+	Width   int
+	Columns []ColumnReport
+	// Mask has bit c set when column c is compressible.
+	Mask uint64
+}
+
+// CompressibleFraction reports the fraction of columns classified
+// compressible — the α2 parameter of the paper's performance model.
+func (a Analysis) CompressibleFraction() float64 {
+	if a.Width == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range a.Columns {
+		if c.Compressible {
+			n++
+		}
+	}
+	return float64(n) / float64(a.Width)
+}
+
+// Analyze samples each byte column of a row-major N×width matrix and
+// classifies it. width must be in [1, 64] (mask is a uint64).
+func Analyze(data []byte, width int, opts Options) (Analysis, error) {
+	if width < 1 || width > 64 {
+		return Analysis{}, fmt.Errorf("isobar: width %d out of range [1,64]", width)
+	}
+	if len(data)%width != 0 {
+		return Analysis{}, fmt.Errorf("%w: %d %% %d", ErrBadShape, len(data), width)
+	}
+	n := len(data) / width
+	a := Analysis{Width: width, Columns: make([]ColumnReport, width)}
+	if n == 0 {
+		return a, nil
+	}
+	sample := opts.sampleBytes()
+	stride := 1
+	if sample < n {
+		stride = (n + sample - 1) / sample
+	}
+	entThresh := opts.entropyThreshold()
+	topThresh := opts.topFreqThreshold()
+	skewThresh := opts.bitSkewThreshold()
+	skewNeeded := opts.skewedBitsRequired()
+	for c := 0; c < width; c++ {
+		var hist [256]int
+		count := 0
+		for r := 0; r < n; r += stride {
+			hist[data[r*width+c]]++
+			count++
+		}
+		rep := analyzeHistogram(hist, count)
+		switch opts.Mode {
+		case ModeBitFrequency:
+			rep.SkewedBits = skewedBits(hist, count, skewThresh)
+			rep.Compressible = rep.SkewedBits >= skewNeeded
+		default:
+			rep.Compressible = rep.Entropy <= entThresh || rep.TopFrequency >= topThresh
+		}
+		a.Columns[c] = rep
+		if rep.Compressible {
+			a.Mask |= 1 << uint(c)
+		}
+	}
+	return a, nil
+}
+
+// skewedBits counts the bit positions of the sampled byte histogram whose
+// one-frequency deviates from 0.5 by more than thresh.
+func skewedBits(hist [256]int, count int, thresh float64) int {
+	if count == 0 {
+		return 0
+	}
+	var ones [8]int
+	for v, h := range hist {
+		if h == 0 {
+			continue
+		}
+		for b := 0; b < 8; b++ {
+			if v&(1<<uint(b)) != 0 {
+				ones[b] += h
+			}
+		}
+	}
+	skewed := 0
+	for _, o := range ones {
+		p := float64(o) / float64(count)
+		d := p - 0.5
+		if d < 0 {
+			d = -d
+		}
+		if d > thresh {
+			skewed++
+		}
+	}
+	return skewed
+}
+
+func analyzeHistogram(hist [256]int, count int) ColumnReport {
+	var rep ColumnReport
+	if count == 0 {
+		return rep
+	}
+	top := 0
+	for _, h := range hist {
+		if h == 0 {
+			continue
+		}
+		p := float64(h) / float64(count)
+		rep.Entropy -= p * math.Log2(p)
+		if h > top {
+			top = h
+		}
+	}
+	rep.TopFrequency = float64(top) / float64(count)
+	return rep
+}
+
+// Partition splits a row-major N×width matrix into two column-major
+// buffers: compressible columns (per mask, ascending column order) and
+// incompressible columns. len(comp) + len(incomp) == len(data).
+func Partition(data []byte, width int, mask uint64) (comp, incomp []byte, err error) {
+	if width < 1 || width > 64 {
+		return nil, nil, fmt.Errorf("isobar: width %d out of range", width)
+	}
+	if len(data)%width != 0 {
+		return nil, nil, fmt.Errorf("%w: %d %% %d", ErrBadShape, len(data), width)
+	}
+	n := len(data) / width
+	nComp := popcount(mask, width)
+	comp = make([]byte, 0, nComp*n)
+	incomp = make([]byte, 0, (width-nComp)*n)
+	for c := 0; c < width; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			for r := 0; r < n; r++ {
+				comp = append(comp, data[r*width+c])
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				incomp = append(incomp, data[r*width+c])
+			}
+		}
+	}
+	return comp, incomp, nil
+}
+
+// Unpartition reverses Partition given the element count n.
+func Unpartition(comp, incomp []byte, width int, mask uint64, n int) ([]byte, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("isobar: width %d out of range", width)
+	}
+	nComp := popcount(mask, width)
+	if len(comp) != nComp*n {
+		return nil, fmt.Errorf("isobar: compressible buffer %d bytes, want %d", len(comp), nComp*n)
+	}
+	if len(incomp) != (width-nComp)*n {
+		return nil, fmt.Errorf("isobar: incompressible buffer %d bytes, want %d",
+			len(incomp), (width-nComp)*n)
+	}
+	out := make([]byte, n*width)
+	ci, ii := 0, 0
+	for c := 0; c < width; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			for r := 0; r < n; r++ {
+				out[r*width+c] = comp[ci]
+				ci++
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				out[r*width+c] = incomp[ii]
+				ii++
+			}
+		}
+	}
+	return out, nil
+}
+
+func popcount(mask uint64, width int) int {
+	n := 0
+	for c := 0; c < width; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			n++
+		}
+	}
+	return n
+}

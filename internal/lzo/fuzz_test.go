@@ -1,0 +1,39 @@
+package lzo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress: the token decoder must never panic or read out of bounds
+// on adversarial input.
+func FuzzDecompress(f *testing.F) {
+	f.Add(Compress([]byte("seed data seed data seed data")))
+	f.Add([]byte{})
+	f.Add([]byte("LZG1"))
+	mut := Compress(bytes.Repeat([]byte{7}, 500))
+	mut[len(mut)-1] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decompress(data)
+		if err != nil {
+			return
+		}
+		// Accepted: must re-round-trip.
+		if back, err := Decompress(Compress(dec)); err != nil || !bytes.Equal(back, dec) {
+			t.Fatalf("re-round-trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip: every input must survive compress+decompress bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte("abc"), 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decompress(Compress(data))
+		if err != nil || !bytes.Equal(dec, data) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package lzo implements an LZO/LZF-family byte-oriented LZ77 compressor:
+// a greedy hash-table match finder emitting literal runs and
+// (length, offset) copy tokens with single-byte control codes.
+//
+// It reproduces the design point the paper attributes to lzo: very high
+// compression and decompression throughput with modest ratios. The format
+// is our own LZF-style token stream, not the LZO1x bitstream.
+//
+// Token format (after the container header):
+//
+//	ctrl < 0x20:  literal run of ctrl+1 bytes (1..32), bytes follow
+//	ctrl >= 0x20: match; lenCode = ctrl>>5 (1..7)
+//	              lenCode < 7: matchLen = lenCode+2 (3..8)
+//	              lenCode = 7: next byte e, matchLen = 9+e (9..264)
+//	              offset = ((ctrl&0x1f)<<8 | nextByte) + 1 (1..8192)
+package lzo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	magic        = "LZG1"
+	maxOffset    = 8192
+	minMatch     = 3
+	maxMatch     = 264
+	maxLitRun    = 32
+	hashLog      = 16
+	hashSize     = 1 << hashLog
+	maxRawLength = 1 << 40
+)
+
+// ErrCorrupt indicates a malformed stream.
+var ErrCorrupt = errors.New("lzo: corrupt stream")
+
+func hash3(p []byte) uint32 {
+	// Multiplicative hash of the next 3 bytes.
+	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16
+	return (v * 2654435761) >> (32 - hashLog)
+}
+
+// Compress compresses src. Output always carries a 12-byte container header
+// so even incompressible input round-trips.
+func Compress(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(src)/16+16)
+	out = append(out, magic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(src)))
+	out = append(out, hdr[:]...)
+
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0
+	i := 0
+	flushLiterals := func(end int) {
+		for litStart < end {
+			run := end - litStart
+			if run > maxLitRun {
+				run = maxLitRun
+			}
+			out = append(out, byte(run-1))
+			out = append(out, src[litStart:litStart+run]...)
+			litStart += run
+		}
+	}
+	for i+minMatch <= len(src) {
+		h := hash3(src[i:])
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) <= maxOffset &&
+			src[cand] == src[i] && src[cand+1] == src[i+1] && src[cand+2] == src[i+2] {
+			// Extend the match.
+			mlen := minMatch
+			limit := len(src) - i
+			if limit > maxMatch {
+				limit = maxMatch
+			}
+			for mlen < limit && src[int(cand)+mlen] == src[i+mlen] {
+				mlen++
+			}
+			flushLiterals(i)
+			off := i - int(cand) - 1 // stored offset is offset-1
+			if mlen <= 8 {
+				out = append(out, byte((mlen-2)<<5|off>>8), byte(off))
+			} else {
+				out = append(out, byte(7<<5|off>>8), byte(off), byte(mlen-9))
+			}
+			// Insert a few positions inside the match to keep the table warm.
+			end := i + mlen
+			for j := i + 1; j < end && j+minMatch <= len(src); j += 2 {
+				table[hash3(src[j:])] = int32(j)
+			}
+			i = end
+			litStart = i
+		} else {
+			i++
+		}
+	}
+	flushLiterals(len(src))
+	return out
+}
+
+// Decompress reverses Compress.
+func Decompress(src []byte) ([]byte, error) {
+	if len(src) < len(magic)+8 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(src[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	rawLen := binary.LittleEndian.Uint64(src[len(magic):])
+	if rawLen > maxRawLength {
+		return nil, fmt.Errorf("%w: absurd size %d", ErrCorrupt, rawLen)
+	}
+	preLen := rawLen
+	if preLen > 8<<20 { // clamp attacker-controlled preallocation
+		preLen = 8 << 20
+	}
+	out := make([]byte, 0, preLen)
+	pos := len(magic) + 8
+	for pos < len(src) {
+		ctrl := src[pos]
+		pos++
+		if ctrl < 0x20 {
+			run := int(ctrl) + 1
+			if pos+run > len(src) {
+				return nil, fmt.Errorf("%w: literal run past end", ErrCorrupt)
+			}
+			out = append(out, src[pos:pos+run]...)
+			pos += run
+			continue
+		}
+		lenCode := int(ctrl >> 5)
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: truncated match token", ErrCorrupt)
+		}
+		off := int(ctrl&0x1f)<<8 | int(src[pos])
+		pos++
+		off++
+		var mlen int
+		if lenCode < 7 {
+			mlen = lenCode + 2
+		} else {
+			if pos >= len(src) {
+				return nil, fmt.Errorf("%w: truncated long match", ErrCorrupt)
+			}
+			mlen = 9 + int(src[pos])
+			pos++
+		}
+		if off > len(out) {
+			return nil, fmt.Errorf("%w: offset %d exceeds history %d", ErrCorrupt, off, len(out))
+		}
+		// Overlapping copies are valid (RLE-style); copy byte-wise.
+		start := len(out) - off
+		for j := 0; j < mlen; j++ {
+			out = append(out, out[start+j])
+		}
+	}
+	if uint64(len(out)) != rawLen {
+		return nil, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), rawLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package lzo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, in []byte) []byte {
+	t.Helper()
+	enc := Compress(in)
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(dec, in) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(in), len(dec))
+	}
+	return enc
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil)
+}
+
+func TestTiny(t *testing.T) {
+	roundTrip(t, []byte{1})
+	roundTrip(t, []byte{1, 2})
+	roundTrip(t, []byte{1, 2, 3})
+}
+
+func TestRepeatedByteUsesOverlappingMatch(t *testing.T) {
+	in := bytes.Repeat([]byte{9}, 10_000)
+	enc := roundTrip(t, in)
+	if len(enc) > 200 {
+		t.Fatalf("run of one byte should compress massively: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestTextCompresses(t *testing.T) {
+	in := bytes.Repeat([]byte("the rain in spain falls mainly on the plain. "), 400)
+	enc := roundTrip(t, in)
+	if float64(len(in))/float64(len(enc)) < 5 {
+		t.Fatalf("repetitive text ratio too low: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestRandomDataBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	in := make([]byte, 100_000)
+	rng.Read(in)
+	enc := roundTrip(t, in)
+	// Worst case: 1 control byte per 32 literals + header.
+	if len(enc) > len(in)+len(in)/32+16 {
+		t.Fatalf("expansion bound violated: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestLongMatches(t *testing.T) {
+	// Match longer than maxMatch forces split tokens.
+	in := append(bytes.Repeat([]byte("abcd"), 200), bytes.Repeat([]byte("abcd"), 200)...)
+	roundTrip(t, in)
+}
+
+func TestFarBackReference(t *testing.T) {
+	// Repetition beyond the 8 KB window cannot match; must still round-trip.
+	rng := rand.New(rand.NewSource(3))
+	block := make([]byte, 10_000)
+	rng.Read(block)
+	in := append(append([]byte{}, block...), block...)
+	roundTrip(t, in)
+}
+
+func TestAllOffsets(t *testing.T) {
+	// Construct matches at several specific offsets including the max.
+	for _, off := range []int{1, 2, 31, 32, 255, 256, 4095, 8192} {
+		prefix := make([]byte, off)
+		for i := range prefix {
+			prefix[i] = byte(i * 7)
+		}
+		reps := 1 + (minMatch+2+off-1)/off // ensure >= minMatch+2 bytes repeat
+		in := bytes.Repeat(prefix, 1+reps)
+		roundTrip(t, in)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	valid := Compress([]byte("hello hello hello hello"))
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte("ZZZZ"), valid[4:]...),
+		"truncated":     valid[:len(valid)-1],
+		"short header":  valid[:6],
+		"size mismatch": append(append([]byte{}, valid[:12]...), 0x00, 'x'),
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestDecompressBadOffset(t *testing.T) {
+	// Hand-craft: header for 3 bytes, then a match token referencing
+	// history that does not exist.
+	data := append([]byte(magic), 3, 0, 0, 0, 0, 0, 0, 0)
+	data = append(data, 0x20|0x1f, 0xFF) // match len 3, offset 8192 with no history
+	if _, err := Decompress(data); err == nil {
+		t.Fatal("offset beyond history accepted")
+	}
+}
+
+// Property: arbitrary byte slices round-trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(in []byte) bool {
+		dec, err := Decompress(Compress(in))
+		return err == nil && bytes.Equal(dec, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structured (repetitive) inputs never expand beyond the literal
+// worst case.
+func TestQuickExpansionBound(t *testing.T) {
+	f := func(in []byte) bool {
+		enc := Compress(in)
+		return len(enc) <= len(in)+len(in)/32+1+12+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compressing a doubled short string is smaller than compressing
+// the two halves independently (matches actually fire).
+func TestQuickMatchesFire(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		block := make([]byte, 512)
+		rng.Read(block)
+		doubled := append(append([]byte{}, block...), block...)
+		return len(Compress(doubled)) < 2*len(Compress(block))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]byte, 1<<20)
+	for i := range in {
+		in[i] = byte(rng.Intn(16))
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(in)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]byte, 1<<20)
+	for i := range in {
+		in[i] = byte(rng.Intn(16))
+	}
+	enc := Compress(in)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckpointParams extends the I/O model to the checkpoint/restart economics
+// the paper's introduction motivates: more frequent node failure at scale
+// forces more frequent checkpoints, so checkpoint cost directly limits
+// useful machine throughput. This is an extension study (not a paper
+// experiment): it quantifies how much compression's reduction of checkpoint
+// time buys in application efficiency via Young's optimal-interval formula.
+type CheckpointParams struct {
+	// CheckpointSeconds is the time to write one checkpoint.
+	CheckpointSeconds float64
+	// MTBFSeconds is the system mean time between failures.
+	MTBFSeconds float64
+	// RestartSeconds is the time to read a checkpoint back and resume.
+	RestartSeconds float64
+}
+
+// CheckpointPlan is the derived operating point.
+type CheckpointPlan struct {
+	// IntervalSeconds is Young's optimal compute time between checkpoints:
+	// sqrt(2 * checkpointTime * MTBF).
+	IntervalSeconds float64
+	// Efficiency is the fraction of wall time doing useful computation,
+	// accounting for checkpoint overhead and expected rework+restart after
+	// failures (first-order approximation).
+	Efficiency float64
+}
+
+// Plan computes the optimal checkpoint interval and resulting efficiency.
+func (p CheckpointParams) Plan() (CheckpointPlan, error) {
+	var out CheckpointPlan
+	if p.CheckpointSeconds <= 0 || p.MTBFSeconds <= 0 || p.RestartSeconds < 0 {
+		return out, fmt.Errorf("%w: %+v", ErrBadParams, p)
+	}
+	out.IntervalSeconds = math.Sqrt(2 * p.CheckpointSeconds * p.MTBFSeconds)
+	// Overhead per cycle: one checkpoint per interval.
+	cycle := out.IntervalSeconds + p.CheckpointSeconds
+	checkpointOverhead := p.CheckpointSeconds / cycle
+	// Expected loss per failure: half an interval of rework plus restart,
+	// amortized over the MTBF.
+	failureOverhead := (out.IntervalSeconds/2 + p.RestartSeconds) / p.MTBFSeconds
+	eff := 1 - checkpointOverhead - failureOverhead
+	if eff < 0 {
+		eff = 0
+	}
+	out.Efficiency = eff
+	return out, nil
+}
+
+// CheckpointSpeedup reports the application-efficiency gain from reducing
+// checkpoint (and restart) time by the given end-to-end throughput factors.
+// writeGain and readGain are ratios > 0 (e.g. 1.27 for a 27% faster write
+// path); the returned value is newEfficiency / oldEfficiency.
+func CheckpointSpeedup(base CheckpointParams, writeGain, readGain float64) (float64, error) {
+	if writeGain <= 0 || readGain <= 0 {
+		return 0, fmt.Errorf("%w: gains %v %v", ErrBadParams, writeGain, readGain)
+	}
+	old, err := base.Plan()
+	if err != nil {
+		return 0, err
+	}
+	improved := base
+	improved.CheckpointSeconds = base.CheckpointSeconds / writeGain
+	improved.RestartSeconds = base.RestartSeconds / readGain
+	nw, err := improved.Plan()
+	if err != nil {
+		return 0, err
+	}
+	if old.Efficiency == 0 {
+		return math.Inf(1), nil
+	}
+	return nw.Efficiency / old.Efficiency, nil
+}

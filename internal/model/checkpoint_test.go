@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYoungInterval(t *testing.T) {
+	p := CheckpointParams{CheckpointSeconds: 100, MTBFSeconds: 50_000, RestartSeconds: 200}
+	plan, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2 * 100 * 50_000)
+	if math.Abs(plan.IntervalSeconds-want) > 1e-9 {
+		t.Fatalf("interval %v want %v", plan.IntervalSeconds, want)
+	}
+	if plan.Efficiency <= 0.8 || plan.Efficiency >= 1 {
+		t.Fatalf("efficiency %v implausible for these parameters", plan.Efficiency)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cases := []CheckpointParams{
+		{CheckpointSeconds: 0, MTBFSeconds: 1, RestartSeconds: 0},
+		{CheckpointSeconds: 1, MTBFSeconds: 0, RestartSeconds: 0},
+		{CheckpointSeconds: 1, MTBFSeconds: 1, RestartSeconds: -1},
+	}
+	for i, p := range cases {
+		if _, err := p.Plan(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEfficiencyClampsAtZero(t *testing.T) {
+	// Pathological: checkpoints longer than MTBF.
+	p := CheckpointParams{CheckpointSeconds: 1e6, MTBFSeconds: 10, RestartSeconds: 1e6}
+	plan, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Efficiency != 0 {
+		t.Fatalf("efficiency %v, want clamp at 0", plan.Efficiency)
+	}
+}
+
+func TestCheckpointSpeedup(t *testing.T) {
+	base := CheckpointParams{CheckpointSeconds: 300, MTBFSeconds: 20_000, RestartSeconds: 400}
+	// PRIMACY's paper-measured end-to-end gains.
+	gain, err := CheckpointSpeedup(base, 1.27, 1.19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 1 {
+		t.Fatalf("faster I/O must improve efficiency: %v", gain)
+	}
+	if gain > 1.2 {
+		t.Fatalf("gain %v implausibly large for these parameters", gain)
+	}
+	if _, err := CheckpointSpeedup(base, 0, 1); err == nil {
+		t.Fatal("zero gain accepted")
+	}
+}
+
+// Property: efficiency is monotone in MTBF and anti-monotone in checkpoint
+// cost.
+func TestQuickEfficiencyMonotone(t *testing.T) {
+	f := func(seed uint8) bool {
+		cp := 50 + float64(seed)
+		base := CheckpointParams{CheckpointSeconds: cp, MTBFSeconds: 40_000, RestartSeconds: 100}
+		a, err := base.Plan()
+		if err != nil {
+			return false
+		}
+		better := base
+		better.MTBFSeconds *= 2
+		b, err := better.Plan()
+		if err != nil {
+			return false
+		}
+		worse := base
+		worse.CheckpointSeconds *= 2
+		c, err := worse.Plan()
+		if err != nil {
+			return false
+		}
+		return b.Efficiency >= a.Efficiency && c.Efficiency <= a.Efficiency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

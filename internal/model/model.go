@@ -1,0 +1,223 @@
+// Package model implements the paper's Section III analytic performance
+// model for end-to-end I/O in a staging HPC environment: ρ compute nodes
+// funnel chunks through one I/O node's collective network onto disk, with
+// optional PRIMACY preconditioning+compression at the compute nodes.
+//
+// Equations (3)-(13) of the paper are implemented directly. Two deliberate
+// corrections to apparent typos are applied by default (set Literal to
+// follow the paper's printed equations exactly):
+//
+//  1. Eq. (11)/(12) multiply the incompressible fraction by σ_lo; an
+//     incompressible remainder ships at ratio 1, so the default uses 1.
+//  2. Eq. (12) scales disk time by (1+ρ); the base case's Eq. (5) uses ρ
+//     (only the ρ compute-node chunks hit the disk), so the default uses ρ.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params is the model's symbol table (paper Table I).
+type Params struct {
+	// ChunkBytes is C, the chunk size in bytes.
+	ChunkBytes float64
+	// MetaBytes is δ, the PRIMACY metadata per chunk.
+	MetaBytes float64
+	// Alpha1 is the fraction of the chunk preconditioned by the ID mapper.
+	Alpha1 float64
+	// Alpha2 is the ISOBAR-compressible fraction of the low-order part.
+	Alpha2 float64
+	// SigmaHo is compressed/original on the high-order bytes.
+	SigmaHo float64
+	// SigmaLo is compressed/original on the compressible low-order bytes.
+	SigmaLo float64
+	// Rho is the compute to I/O node ratio.
+	Rho float64
+	// Theta is the collective network throughput at the I/O node (B/s).
+	Theta float64
+	// MuWrite and MuRead are disk write/read throughputs (B/s).
+	MuWrite float64
+	MuRead  float64
+	// TPrec is the preconditioner throughput (B/s).
+	TPrec float64
+	// TComp and TDecomp are solver compression/decompression throughputs.
+	TComp   float64
+	TDecomp float64
+	// Literal follows the paper's printed equations including the two
+	// apparent typos (see package comment).
+	Literal bool
+}
+
+// ErrBadParams indicates non-positive required parameters.
+var ErrBadParams = errors.New("model: invalid parameters")
+
+// Breakdown itemizes the modeled times (paper Table II) in seconds and the
+// resulting end-to-end throughput in bytes/second.
+type Breakdown struct {
+	TPrec1     float64 // PRIMACY preconditioner on the chunk
+	TPrec2     float64 // ISOBAR preconditioner on the low-order part
+	TCompress1 float64 // solver on the high-order bytes
+	TCompress2 float64 // solver on the compressible low-order bytes
+	TTransfer  float64 // collective network
+	TDisk      float64 // disk write or read
+	TTotal     float64
+	Throughput float64 // τ = ρC / t_total (Eq. 3)
+}
+
+func (p Params) validate(needCodec bool) error {
+	if p.ChunkBytes <= 0 || p.Rho <= 0 || p.Theta <= 0 {
+		return fmt.Errorf("%w: C=%v rho=%v theta=%v", ErrBadParams, p.ChunkBytes, p.Rho, p.Theta)
+	}
+	if needCodec && (p.TPrec <= 0 || p.TComp <= 0) {
+		return fmt.Errorf("%w: TPrec=%v TComp=%v", ErrBadParams, p.TPrec, p.TComp)
+	}
+	if p.Alpha1 < 0 || p.Alpha1 > 1 || p.Alpha2 < 0 || p.Alpha2 > 1 {
+		return fmt.Errorf("%w: alpha1=%v alpha2=%v", ErrBadParams, p.Alpha1, p.Alpha2)
+	}
+	return nil
+}
+
+// CompressedFraction is the shipped-bytes/raw-bytes ratio implied by the
+// model parameters, including metadata overhead.
+func (p Params) CompressedFraction() float64 {
+	incompRatio := 1.0
+	if p.Literal {
+		incompRatio = p.SigmaLo // paper Eq. (11)/(12) as printed
+	}
+	f := p.Alpha1*p.SigmaHo +
+		p.Alpha2*(1-p.Alpha1)*p.SigmaLo +
+		(1-p.Alpha2)*(1-p.Alpha1)*incompRatio
+	if p.ChunkBytes > 0 {
+		f += p.MetaBytes / p.ChunkBytes
+	}
+	return f
+}
+
+// WriteNoCompression models the base case (Eqs. 4-6).
+func (p Params) WriteNoCompression() (Breakdown, error) {
+	if err := p.validate(false); err != nil {
+		return Breakdown{}, err
+	}
+	if p.MuWrite <= 0 {
+		return Breakdown{}, fmt.Errorf("%w: MuWrite=%v", ErrBadParams, p.MuWrite)
+	}
+	var b Breakdown
+	c := p.ChunkBytes
+	b.TTransfer = (1 + p.Rho) * c / p.Theta // Eq. 4: network contention scales with rho
+	b.TDisk = p.Rho * c / p.MuWrite         // Eq. 5
+	b.TTotal = b.TTransfer + b.TDisk        // Eq. 6
+	b.Throughput = p.Rho * c / b.TTotal     // Eq. 3
+	return b, nil
+}
+
+// WritePRIMACY models PRIMACY at the compute nodes (Eqs. 7-13).
+func (p Params) WritePRIMACY() (Breakdown, error) {
+	if err := p.validate(true); err != nil {
+		return Breakdown{}, err
+	}
+	if p.MuWrite <= 0 {
+		return Breakdown{}, fmt.Errorf("%w: MuWrite=%v", ErrBadParams, p.MuWrite)
+	}
+	var b Breakdown
+	c := p.ChunkBytes
+	b.TPrec1 = c / p.TPrec                                 // Eq. 7
+	b.TPrec2 = (1 - p.Alpha1) * c / p.TPrec                // Eq. 8
+	b.TCompress1 = p.Alpha1 * c / p.TComp                  // Eq. 9
+	b.TCompress2 = p.Alpha2 * (1 - p.Alpha1) * c / p.TComp // Eq. 10
+	f := p.CompressedFraction()
+	b.TTransfer = (1 + p.Rho) * c * f / p.Theta // Eq. 11
+	diskScale := p.Rho
+	if p.Literal {
+		diskScale = 1 + p.Rho // paper Eq. 12 as printed
+	}
+	b.TDisk = diskScale * c * f / p.MuWrite
+	b.TTotal = b.TPrec1 + b.TPrec2 + b.TCompress1 + b.TCompress2 +
+		b.TTransfer + b.TDisk // Eq. 13
+	b.Throughput = p.Rho * c / b.TTotal
+	return b, nil
+}
+
+// WriteVanilla models whole-chunk compression with a standard solver at the
+// compute nodes (no preconditioner) — the paper's "zlib vanilla" and "lzo
+// vanilla" comparison cases. sigma is compressed/original for the whole
+// chunk.
+func (p Params) WriteVanilla(sigma float64) (Breakdown, error) {
+	if err := p.validate(false); err != nil {
+		return Breakdown{}, err
+	}
+	if p.TComp <= 0 || p.MuWrite <= 0 {
+		return Breakdown{}, fmt.Errorf("%w: TComp=%v MuWrite=%v", ErrBadParams, p.TComp, p.MuWrite)
+	}
+	var b Breakdown
+	c := p.ChunkBytes
+	b.TCompress1 = c / p.TComp
+	b.TTransfer = (1 + p.Rho) * c * sigma / p.Theta
+	b.TDisk = p.Rho * c * sigma / p.MuWrite
+	b.TTotal = b.TCompress1 + b.TTransfer + b.TDisk
+	b.Throughput = p.Rho * c / b.TTotal
+	return b, nil
+}
+
+// ReadNoCompression models the base read case (inverse order of writes).
+func (p Params) ReadNoCompression() (Breakdown, error) {
+	if err := p.validate(false); err != nil {
+		return Breakdown{}, err
+	}
+	if p.MuRead <= 0 {
+		return Breakdown{}, fmt.Errorf("%w: MuRead=%v", ErrBadParams, p.MuRead)
+	}
+	var b Breakdown
+	c := p.ChunkBytes
+	b.TDisk = p.Rho * c / p.MuRead
+	b.TTransfer = (1 + p.Rho) * c / p.Theta
+	b.TTotal = b.TDisk + b.TTransfer
+	b.Throughput = p.Rho * c / b.TTotal
+	return b, nil
+}
+
+// ReadPRIMACY models the inverse PRIMACY pipeline: read compressed bytes,
+// ship them, then decompress and reverse-precondition at the compute nodes.
+func (p Params) ReadPRIMACY() (Breakdown, error) {
+	if err := p.validate(true); err != nil {
+		return Breakdown{}, err
+	}
+	if p.MuRead <= 0 || p.TDecomp <= 0 {
+		return Breakdown{}, fmt.Errorf("%w: MuRead=%v TDecomp=%v", ErrBadParams, p.MuRead, p.TDecomp)
+	}
+	var b Breakdown
+	c := p.ChunkBytes
+	f := p.CompressedFraction()
+	diskScale := p.Rho
+	if p.Literal {
+		diskScale = 1 + p.Rho
+	}
+	b.TDisk = diskScale * c * f / p.MuRead
+	b.TTransfer = (1 + p.Rho) * c * f / p.Theta
+	b.TCompress1 = p.Alpha1 * c / p.TDecomp
+	b.TCompress2 = p.Alpha2 * (1 - p.Alpha1) * c / p.TDecomp
+	b.TPrec1 = c / p.TPrec
+	b.TPrec2 = (1 - p.Alpha1) * c / p.TPrec
+	b.TTotal = b.TDisk + b.TTransfer + b.TCompress1 + b.TCompress2 +
+		b.TPrec1 + b.TPrec2
+	b.Throughput = p.Rho * c / b.TTotal
+	return b, nil
+}
+
+// ReadVanilla models whole-chunk decompression at the compute nodes.
+func (p Params) ReadVanilla(sigma float64) (Breakdown, error) {
+	if err := p.validate(false); err != nil {
+		return Breakdown{}, err
+	}
+	if p.TDecomp <= 0 || p.MuRead <= 0 {
+		return Breakdown{}, fmt.Errorf("%w: TDecomp=%v MuRead=%v", ErrBadParams, p.TDecomp, p.MuRead)
+	}
+	var b Breakdown
+	c := p.ChunkBytes
+	b.TDisk = p.Rho * c * sigma / p.MuRead
+	b.TTransfer = (1 + p.Rho) * c * sigma / p.Theta
+	b.TCompress1 = c / p.TDecomp
+	b.TTotal = b.TDisk + b.TTransfer + b.TCompress1
+	b.Throughput = p.Rho * c / b.TTotal
+	return b, nil
+}

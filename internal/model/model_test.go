@@ -1,0 +1,247 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// jaguarish returns parameters shaped like the paper's staging setup:
+// rho = 8:1, 3 MB chunks, slow shared disk, faster network.
+func jaguarish() Params {
+	return Params{
+		ChunkBytes: 3 << 20,
+		MetaBytes:  4096,
+		Alpha1:     0.25,
+		Alpha2:     0.1,
+		SigmaHo:    0.2,
+		SigmaLo:    0.6,
+		Rho:        8,
+		Theta:      300e6,
+		MuWrite:    12e6,
+		MuRead:     200e6,
+		TPrec:      800e6,
+		TComp:      60e6,
+		TDecomp:    200e6,
+	}
+}
+
+func TestBaseWriteEquations(t *testing.T) {
+	p := jaguarish()
+	b, err := p.WriteNoCompression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.ChunkBytes
+	wantTransfer := (1 + p.Rho) * c / p.Theta
+	wantDisk := p.Rho * c / p.MuWrite
+	if math.Abs(b.TTransfer-wantTransfer) > 1e-12 {
+		t.Fatalf("transfer %v != %v", b.TTransfer, wantTransfer)
+	}
+	if math.Abs(b.TDisk-wantDisk) > 1e-12 {
+		t.Fatalf("disk %v != %v", b.TDisk, wantDisk)
+	}
+	if math.Abs(b.TTotal-(wantTransfer+wantDisk)) > 1e-12 {
+		t.Fatal("total != transfer+disk")
+	}
+	wantTau := p.Rho * c / b.TTotal
+	if math.Abs(b.Throughput-wantTau) > 1e-9 {
+		t.Fatalf("tau %v != %v", b.Throughput, wantTau)
+	}
+}
+
+func TestPRIMACYWriteBeatsNullOnSlowDisk(t *testing.T) {
+	// The paper's headline: with a slow shared disk, shipping ~78% of the
+	// bytes wins even after paying compression time.
+	p := jaguarish()
+	null, err := p.WriteNoCompression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim, err := p.WritePRIMACY()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prim.Throughput <= null.Throughput {
+		t.Fatalf("PRIMACY %v <= null %v", prim.Throughput, null.Throughput)
+	}
+	gain := prim.Throughput/null.Throughput - 1
+	if gain < 0.05 || gain > 0.6 {
+		t.Fatalf("write gain %.1f%% outside the paper's plausible band", gain*100)
+	}
+}
+
+func TestSlowSolverHurtsVanilla(t *testing.T) {
+	// Vanilla compression at low throughput and weak ratio can lose to the
+	// null case (the paper's read-side observation).
+	p := jaguarish()
+	p.TDecomp = 80e6 // vanilla zlib decompression
+	null, err := p.ReadNoCompression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	van, err := p.ReadVanilla(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if van.Throughput >= null.Throughput {
+		t.Fatalf("weak-ratio vanilla read should lose: %v >= %v",
+			van.Throughput, null.Throughput)
+	}
+}
+
+func TestPRIMACYReadRetainsGain(t *testing.T) {
+	p := jaguarish()
+	null, err := p.ReadNoCompression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim, err := p.ReadPRIMACY()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prim.Throughput <= null.Throughput {
+		t.Fatalf("PRIMACY read %v <= null %v", prim.Throughput, null.Throughput)
+	}
+}
+
+func TestCompressedFraction(t *testing.T) {
+	p := jaguarish()
+	f := p.CompressedFraction()
+	want := 0.25*0.2 + 0.1*0.75*0.6 + 0.9*0.75*1.0 + 4096.0/float64(3<<20)
+	if math.Abs(f-want) > 1e-12 {
+		t.Fatalf("fraction %v != %v", f, want)
+	}
+	// Literal mode applies sigmaLo to the incompressible remainder too.
+	p.Literal = true
+	fl := p.CompressedFraction()
+	wantL := 0.25*0.2 + 0.1*0.75*0.6 + 0.9*0.75*0.6 + 4096.0/float64(3<<20)
+	if math.Abs(fl-wantL) > 1e-12 {
+		t.Fatalf("literal fraction %v != %v", fl, wantL)
+	}
+	if fl >= f {
+		t.Fatal("literal fraction should be smaller (sigmaLo < 1)")
+	}
+}
+
+func TestLiteralModeDiskScale(t *testing.T) {
+	p := jaguarish()
+	def, err := p.WritePRIMACY()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Literal = true
+	lit, err := p.WritePRIMACY()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literal mode scales disk by (1+rho) and uses the literal fraction.
+	pl := p
+	wantLit := (1 + p.Rho) * p.ChunkBytes * pl.CompressedFraction() / p.MuWrite
+	if math.Abs(lit.TDisk-wantLit) > 1e-9 {
+		t.Fatalf("literal disk time %v != %v", lit.TDisk, wantLit)
+	}
+	pd := p
+	pd.Literal = false
+	wantDef := p.Rho * p.ChunkBytes * pd.CompressedFraction() / p.MuWrite
+	if math.Abs(def.TDisk-wantDef) > 1e-9 {
+		t.Fatalf("default disk time %v != %v", def.TDisk, wantDef)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := jaguarish()
+	bad.ChunkBytes = 0
+	if _, err := bad.WriteNoCompression(); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+	bad = jaguarish()
+	bad.Alpha2 = 1.5
+	if _, err := bad.WritePRIMACY(); err == nil {
+		t.Fatal("alpha2 > 1 accepted")
+	}
+	bad = jaguarish()
+	bad.TComp = 0
+	if _, err := bad.WritePRIMACY(); err == nil {
+		t.Fatal("zero TComp accepted")
+	}
+	bad = jaguarish()
+	bad.MuRead = 0
+	if _, err := bad.ReadNoCompression(); err == nil {
+		t.Fatal("zero MuRead accepted")
+	}
+	bad = jaguarish()
+	bad.TDecomp = 0
+	if _, err := bad.ReadPRIMACY(); err == nil {
+		t.Fatal("zero TDecomp accepted")
+	}
+	if _, err := jaguarish().WriteVanilla(0.9); err != nil {
+		t.Fatalf("vanilla write: %v", err)
+	}
+}
+
+// Property: throughput is monotone in disk speed for every scenario.
+func TestQuickMonotoneInDisk(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := jaguarish()
+		p.MuWrite = 5e6 + float64(seed)*1e6
+		slow, err := p.WritePRIMACY()
+		if err != nil {
+			return false
+		}
+		p.MuWrite *= 2
+		fast, err := p.WritePRIMACY()
+		if err != nil {
+			return false
+		}
+		return fast.Throughput > slow.Throughput
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a better compression ratio (smaller sigma) never reduces
+// vanilla throughput.
+func TestQuickMonotoneInSigma(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := jaguarish()
+		sigma := 0.3 + float64(seed%60)/100
+		a, err := p.WriteVanilla(sigma)
+		if err != nil {
+			return false
+		}
+		b, err := p.WriteVanilla(sigma + 0.05)
+		if err != nil {
+			return false
+		}
+		return a.Throughput >= b.Throughput
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total time equals the sum of its parts in every scenario.
+func TestQuickBreakdownSums(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := jaguarish()
+		p.Alpha2 = float64(seed%100) / 100
+		for _, run := range []func() (Breakdown, error){
+			p.WriteNoCompression, p.WritePRIMACY, p.ReadNoCompression, p.ReadPRIMACY,
+		} {
+			b, err := run()
+			if err != nil {
+				return false
+			}
+			sum := b.TPrec1 + b.TPrec2 + b.TCompress1 + b.TCompress2 + b.TTransfer + b.TDisk
+			if math.Abs(sum-b.TTotal) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

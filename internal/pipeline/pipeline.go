@@ -1,0 +1,172 @@
+// Package pipeline runs the PRIMACY codec across multiple cores, the way an
+// in-situ integration runs it across the cores of a compute node: input is
+// cut into per-worker shards, each shard is compressed independently with
+// the core codec, and shards are reassembled in order. Shard outputs are
+// byte-identical to sequential core.Compress outputs of the same shard, so
+// the parallel container is a thin deterministic wrapper.
+package pipeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"primacy/internal/bytesplit"
+	"primacy/internal/core"
+)
+
+const magic = "PRP1"
+
+// ErrCorrupt indicates a malformed parallel container.
+var ErrCorrupt = errors.New("pipeline: corrupt stream")
+
+// Options configures parallel compression.
+type Options struct {
+	// Core is passed to every shard's codec. IndexReuse is not meaningful
+	// across shards (each shard starts fresh).
+	Core core.Options
+	// Workers caps concurrency (0 = GOMAXPROCS).
+	Workers int
+	// ShardBytes is the per-shard input size (0 = one chunk-multiple shard
+	// per worker, at least one chunk each).
+	ShardBytes int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) shardBytes(total int) int {
+	if o.ShardBytes > 0 {
+		// Round to whole elements.
+		sb := o.ShardBytes - o.ShardBytes%bytesplit.BytesPerValue
+		if sb < bytesplit.BytesPerValue {
+			sb = bytesplit.BytesPerValue
+		}
+		return sb
+	}
+	w := o.workers()
+	sb := (total + w - 1) / w
+	sb -= sb % bytesplit.BytesPerValue
+	chunk := o.Core.ChunkBytes
+	if chunk == 0 {
+		chunk = 3 << 20
+	}
+	if sb < chunk {
+		sb = chunk
+	}
+	return sb
+}
+
+// Compress compresses data using up to Workers goroutines.
+func Compress(data []byte, opts Options) ([]byte, error) {
+	if len(data)%bytesplit.BytesPerValue != 0 {
+		return nil, fmt.Errorf("pipeline: input %d not a multiple of %d bytes",
+			len(data), bytesplit.BytesPerValue)
+	}
+	shardSize := opts.shardBytes(len(data))
+	var shards [][]byte
+	for off := 0; off < len(data); off += shardSize {
+		end := off + shardSize
+		if end > len(data) {
+			end = len(data)
+		}
+		shards = append(shards, data[off:end])
+	}
+	outputs := make([][]byte, len(shards))
+	errs := make([]error, len(shards))
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outputs[i], errs[i] = core.Compress(shard, opts.Core)
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	outLen := len(magic) + 4
+	for _, o := range outputs {
+		outLen += 4 + len(o)
+	}
+	out := make([]byte, 0, outLen)
+	out = append(out, magic...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(outputs)))
+	out = append(out, u32[:]...)
+	for _, o := range outputs {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(o)))
+		out = append(out, u32[:]...)
+		out = append(out, o...)
+	}
+	return out, nil
+}
+
+// Decompress reverses Compress using up to opts.workers() goroutines.
+func Decompress(data []byte, opts Options) ([]byte, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(data[len(magic):]))
+	if n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("%w: %d shards", ErrCorrupt, n)
+	}
+	pos := len(magic) + 4
+	shards := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated shard header", ErrCorrupt)
+		}
+		l := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if l < 0 || pos+l > len(data) {
+			return nil, fmt.Errorf("%w: truncated shard", ErrCorrupt)
+		}
+		shards = append(shards, data[pos:pos+l])
+		pos += l
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
+	}
+	outputs := make([][]byte, len(shards))
+	errs := make([]error, len(shards))
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outputs[i], errs[i] = core.Decompress(shard)
+		}(i, shard)
+	}
+	wg.Wait()
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		total += len(outputs[i])
+	}
+	out := make([]byte, 0, total)
+	for _, o := range outputs {
+		out = append(out, o...)
+	}
+	return out, nil
+}

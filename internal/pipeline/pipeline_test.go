@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"primacy/internal/core"
+	"primacy/internal/datagen"
+)
+
+func testData(n int) []byte {
+	s, _ := datagen.ByName("flash_velx")
+	return s.GenerateBytes(n)
+}
+
+func roundTrip(t *testing.T, raw []byte, opts Options) []byte {
+	t.Helper()
+	enc, err := Compress(raw, opts)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	dec, err := Decompress(enc, opts)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatalf("round trip mismatch: %d raw, %d decoded", len(raw), len(dec))
+	}
+	return enc
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil, Options{})
+}
+
+func TestSmallSingleShard(t *testing.T) {
+	roundTrip(t, testData(1000), Options{})
+}
+
+func TestManyShards(t *testing.T) {
+	raw := testData(50_000)
+	enc := roundTrip(t, raw, Options{
+		ShardBytes: 32 << 10,
+		Core:       core.Options{ChunkBytes: 8 << 10},
+	})
+	if len(enc) >= len(raw) {
+		t.Fatalf("compressible data expanded: %d -> %d", len(raw), len(enc))
+	}
+}
+
+func TestWorkerCounts(t *testing.T) {
+	raw := testData(30_000)
+	opts1 := Options{Workers: 1, ShardBytes: 16 << 10, Core: core.Options{ChunkBytes: 8 << 10}}
+	optsN := Options{Workers: 8, ShardBytes: 16 << 10, Core: core.Options{ChunkBytes: 8 << 10}}
+	enc1 := roundTrip(t, raw, opts1)
+	encN := roundTrip(t, raw, optsN)
+	if !bytes.Equal(enc1, encN) {
+		t.Fatal("worker count changed the output bytes (must be deterministic)")
+	}
+}
+
+func TestShardingMatchesSequentialCore(t *testing.T) {
+	// Each shard payload must equal core.Compress of that shard.
+	raw := testData(20_000)
+	opts := Options{ShardBytes: 64 << 10, Core: core.Options{ChunkBytes: 16 << 10}}
+	enc, err := Compress(raw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardSize := opts.shardBytes(len(raw))
+	want, err := core.Compress(raw[:shardSize], opts.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First shard lives at offset 8 (magic+count) + 4 (len).
+	got := enc[12 : 12+len(want)]
+	if !bytes.Equal(got, want) {
+		t.Fatal("first shard differs from sequential core output")
+	}
+}
+
+func TestRaggedInputRejected(t *testing.T) {
+	if _, err := Compress(make([]byte, 13), Options{}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	enc := roundTrip(t, testData(5_000), Options{})
+	cases := map[string][]byte{
+		"empty":     {},
+		"magic":     append([]byte("XXXX"), enc[4:]...),
+		"truncated": enc[:len(enc)-3],
+		"trailing":  append(append([]byte{}, enc...), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data, Options{}); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestShardBytesRounding(t *testing.T) {
+	o := Options{ShardBytes: 13}
+	if got := o.shardBytes(1000); got != 8 {
+		t.Fatalf("shard rounding: %d", got)
+	}
+	o = Options{ShardBytes: 0, Workers: 4}
+	sb := o.shardBytes(100 * 8)
+	if sb%8 != 0 || sb <= 0 {
+		t.Fatalf("default shard size %d not element aligned", sb)
+	}
+}
+
+// Property: round trip holds for arbitrary float64 data and shard sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(nElems uint16, shardK uint8) bool {
+		s, _ := datagen.ByName("msg_lu")
+		raw := s.GenerateBytes(int(nElems)%4096 + 1)
+		opts := Options{
+			ShardBytes: (int(shardK)%8 + 1) * 1024,
+			Core:       core.Options{ChunkBytes: 1024},
+		}
+		enc, err := Compress(raw, opts)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(enc, opts)
+		return err == nil && bytes.Equal(dec, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParallelCompress(b *testing.B) {
+	raw := testData(1 << 18)
+	opts := Options{Core: core.Options{ChunkBytes: 256 << 10}}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(raw, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialCompress(b *testing.B) {
+	raw := testData(1 << 18)
+	opts := Options{Workers: 1, Core: core.Options{ChunkBytes: 256 << 10}}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(raw, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package solver defines the standard-compressor ("solver") abstraction the
+// PRIMACY preconditioner feeds, and registers the three solver families the
+// paper evaluates — zlib (stdlib DEFLATE), our lzo-style fast LZ, and our
+// bzlib-style BWT block compressor — plus a raw passthrough used for
+// ISOBAR-classified incompressible bytes.
+package solver
+
+import (
+	"bytes"
+	"compress/zlib"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"primacy/internal/bzlib"
+	"primacy/internal/lzo"
+)
+
+// interface checks
+var (
+	_ Compressor = Zlib{}
+	_ Compressor = LZO{}
+	_ Compressor = BZlib{}
+	_ Compressor = None{}
+)
+
+// Compressor is a lossless byte-stream codec.
+type Compressor interface {
+	// Name is the registry key (e.g. "zlib").
+	Name() string
+	// Compress returns a self-contained compressed representation of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress inverts Compress.
+	Decompress(src []byte) ([]byte, error)
+}
+
+// ErrUnknown indicates a solver name that is not registered.
+var ErrUnknown = errors.New("solver: unknown compressor")
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Compressor{}
+)
+
+// Register installs c under its name; later registrations replace earlier
+// ones (useful for tests injecting faulty solvers).
+func Register(c Compressor) {
+	mu.Lock()
+	defer mu.Unlock()
+	registry[c.Name()] = c
+}
+
+// Get looks up a registered compressor by name.
+func Get(name string) (Compressor, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return c, nil
+}
+
+// Names lists the registered solvers in sorted order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(Zlib{Level: zlib.DefaultCompression})
+	Register(LZO{})
+	Register(BZlib{})
+	Register(None{})
+}
+
+// Zlib wraps the standard library's zlib (DEFLATE) implementation — the
+// paper's primary solver. Writers are pooled per level: allocating a fresh
+// DEFLATE window for every chunk-sized call would dominate the in-situ
+// compression cost.
+type Zlib struct {
+	// Level is the DEFLATE level (zlib.DefaultCompression if 0 is desired,
+	// pass zlib.NoCompression explicitly; the zero value maps to default).
+	Level int
+}
+
+// zlibPools holds one writer pool per compression level (-2..9 -> index+2).
+var zlibPools [12]sync.Pool
+
+// Name implements Compressor.
+func (z Zlib) Name() string { return "zlib" }
+
+// Compress implements Compressor.
+func (z Zlib) Compress(src []byte) ([]byte, error) {
+	level := z.Level
+	if level == 0 {
+		level = zlib.DefaultCompression
+	}
+	if level < -2 || level > 9 {
+		return nil, fmt.Errorf("zlib: invalid level %d", level)
+	}
+	pool := &zlibPools[level+2]
+	var buf bytes.Buffer
+	buf.Grow(len(src)/2 + 64)
+	w, _ := pool.Get().(*zlib.Writer)
+	if w == nil {
+		var err error
+		w, err = zlib.NewWriterLevel(&buf, level)
+		if err != nil {
+			return nil, fmt.Errorf("zlib: %w", err)
+		}
+	} else {
+		w.Reset(&buf)
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("zlib: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("zlib: %w", err)
+	}
+	pool.Put(w)
+	return buf.Bytes(), nil
+}
+
+// Decompress implements Compressor.
+func (z Zlib) Decompress(src []byte) ([]byte, error) {
+	r, err := zlib.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return nil, fmt.Errorf("zlib: %w", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("zlib: %w", err)
+	}
+	return out, nil
+}
+
+// LZO is the lzo-style fast LZ77 solver.
+type LZO struct{}
+
+// Name implements Compressor.
+func (LZO) Name() string { return "lzo" }
+
+// Compress implements Compressor.
+func (LZO) Compress(src []byte) ([]byte, error) { return lzo.Compress(src), nil }
+
+// Decompress implements Compressor.
+func (LZO) Decompress(src []byte) ([]byte, error) { return lzo.Decompress(src) }
+
+// BZlib is the bzip2-style BWT block solver.
+type BZlib struct {
+	// BlockSize overrides the default BWT block size when nonzero.
+	BlockSize int
+}
+
+// Name implements Compressor.
+func (BZlib) Name() string { return "bzlib" }
+
+// Compress implements Compressor.
+func (b BZlib) Compress(src []byte) ([]byte, error) {
+	return bzlib.Compress(src, bzlib.Options{BlockSize: b.BlockSize})
+}
+
+// Decompress implements Compressor.
+func (BZlib) Decompress(src []byte) ([]byte, error) { return bzlib.Decompress(src) }
+
+// None is an identity "compressor" used for bytes classified incompressible.
+type None struct{}
+
+// Name implements Compressor.
+func (None) Name() string { return "none" }
+
+// Compress implements Compressor.
+func (None) Compress(src []byte) ([]byte, error) {
+	return append([]byte(nil), src...), nil
+}
+
+// Decompress implements Compressor.
+func (None) Decompress(src []byte) ([]byte, error) {
+	return append([]byte(nil), src...), nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package staging
+
+const raceEnabled = false

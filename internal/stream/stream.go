@@ -1,0 +1,229 @@
+// Package stream provides io.Writer/io.Reader adapters over the PRIMACY
+// codec for in-situ pipelines that produce data incrementally (checkpoint
+// writers, staging transports). Data is buffered to chunk granularity and
+// emitted as independent self-describing segments, so a reader can start
+// decoding as soon as the first chunk arrives and a truncated stream fails
+// cleanly at a segment boundary.
+//
+// Stream layout:
+//
+//	"PRS1" | segment* | 0u32
+//	segment = u32 length | core container (one chunk group)
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"primacy/internal/bytesplit"
+	"primacy/internal/core"
+)
+
+const magic = "PRS1"
+
+// ErrCorrupt indicates a malformed stream.
+var ErrCorrupt = errors.New("stream: corrupt stream")
+
+// Writer compresses data written to it and forwards segments to the
+// underlying writer. Not safe for concurrent use.
+type Writer struct {
+	dst        io.Writer
+	opts       core.Options
+	buf        []byte
+	chunkBytes int
+	stats      core.Stats
+	wroteMagic bool
+	closed     bool
+}
+
+// NewWriter returns a streaming compressor. opts follows core.Options; the
+// chunk size also sets the segment granularity.
+func NewWriter(dst io.Writer, opts core.Options) (*Writer, error) {
+	lay, err := layoutFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	chunk := opts.ChunkBytes
+	if chunk == 0 {
+		chunk = 3 << 20
+	}
+	chunk -= chunk % lay.ElemBytes
+	if chunk < lay.ElemBytes {
+		return nil, fmt.Errorf("stream: chunk size %d below element size", opts.ChunkBytes)
+	}
+	return &Writer{dst: dst, opts: opts, chunkBytes: chunk}, nil
+}
+
+func layoutFor(opts core.Options) (bytesplit.Layout, error) {
+	switch opts.Precision {
+	case core.Float64:
+		return bytesplit.Float64Layout, nil
+	case core.Float32:
+		return bytesplit.Float32Layout, nil
+	default:
+		return bytesplit.Layout{}, fmt.Errorf("stream: unknown precision %d", opts.Precision)
+	}
+}
+
+// Write buffers p and emits full segments as they fill.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("stream: write after Close")
+	}
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.chunkBytes {
+		if err := w.emit(w.buf[:w.chunkBytes]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.chunkBytes:]
+	}
+	return len(p), nil
+}
+
+func (w *Writer) emit(chunk []byte) error {
+	if !w.wroteMagic {
+		if _, err := w.dst.Write([]byte(magic)); err != nil {
+			return err
+		}
+		w.wroteMagic = true
+	}
+	enc, st, err := core.CompressWithStats(chunk, w.opts)
+	if err != nil {
+		return err
+	}
+	w.accumulate(st)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+	if _, err := w.dst.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.dst.Write(enc)
+	return err
+}
+
+func (w *Writer) accumulate(st core.Stats) {
+	prevRaw := w.stats.RawBytes
+	w.stats.RawBytes += st.RawBytes
+	w.stats.CompressedBytes += st.CompressedBytes
+	w.stats.Chunks += st.Chunks
+	w.stats.IndexBytes += st.IndexBytes
+	w.stats.IndexesEmitted += st.IndexesEmitted
+	w.stats.PrecSeconds += st.PrecSeconds
+	w.stats.SolverSeconds += st.SolverSeconds
+	w.stats.SolverInputBytes += st.SolverInputBytes
+	w.stats.Alpha1 = st.Alpha1
+	// Weighted means for the fractions.
+	if w.stats.RawBytes > 0 {
+		wPrev := float64(prevRaw) / float64(w.stats.RawBytes)
+		wNew := 1 - wPrev
+		w.stats.Alpha2 = w.stats.Alpha2*wPrev + st.Alpha2*wNew
+		w.stats.SigmaHo = w.stats.SigmaHo*wPrev + st.SigmaHo*wNew
+		w.stats.SigmaLo = w.stats.SigmaLo*wPrev + st.SigmaLo*wNew
+	}
+}
+
+// Close flushes any buffered partial chunk and writes the end marker.
+// The residue must be element-aligned or Close fails.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if len(w.buf) > 0 {
+		if err := w.emit(w.buf); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	if !w.wroteMagic {
+		if _, err := w.dst.Write([]byte(magic)); err != nil {
+			return err
+		}
+		w.wroteMagic = true
+	}
+	var end [4]byte
+	if _, err := w.dst.Write(end[:]); err != nil {
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+// Stats reports accumulated compression statistics (valid any time).
+func (w *Writer) Stats() core.Stats { return w.stats }
+
+// Reader decompresses a stream produced by Writer. Not safe for concurrent
+// use.
+type Reader struct {
+	src     io.Reader
+	pending []byte
+	started bool
+	done    bool
+	err     error
+}
+
+// NewReader returns a streaming decompressor over src.
+func NewReader(src io.Reader) *Reader {
+	return &Reader{src: src}
+}
+
+// Read implements io.Reader, decoding segment by segment.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.pending) == 0 {
+		if r.done {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		if err := r.fill(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.pending)
+	r.pending = r.pending[n:]
+	return n, nil
+}
+
+func (r *Reader) fill() error {
+	if !r.started {
+		var m [4]byte
+		if _, err := io.ReadFull(r.src, m[:]); err != nil {
+			return fmt.Errorf("%w: missing magic: %v", ErrCorrupt, err)
+		}
+		if string(m[:]) != magic {
+			return fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+		}
+		r.started = true
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.src, hdr[:]); err != nil {
+		return fmt.Errorf("%w: truncated segment header: %v", ErrCorrupt, err)
+	}
+	segLen := binary.LittleEndian.Uint32(hdr[:])
+	if segLen == 0 {
+		r.done = true
+		return nil
+	}
+	if segLen > 1<<31 {
+		return fmt.Errorf("%w: absurd segment %d", ErrCorrupt, segLen)
+	}
+	// Read incrementally: segLen is attacker-controlled, so allocation must
+	// track bytes actually present in the source.
+	seg, err := io.ReadAll(io.LimitReader(r.src, int64(segLen)))
+	if err != nil {
+		return fmt.Errorf("%w: segment read: %v", ErrCorrupt, err)
+	}
+	if uint32(len(seg)) != segLen {
+		return fmt.Errorf("%w: truncated segment: %d of %d bytes", ErrCorrupt, len(seg), segLen)
+	}
+	chunk, err := core.Decompress(seg)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	r.pending = chunk
+	return nil
+}

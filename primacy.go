@@ -1,0 +1,224 @@
+// Package primacy is the public API of this repository's reproduction of
+// "Improving I/O Throughput with PRIMACY: Preconditioning ID-Mapper for
+// Compressing Incompressibility" (Shah et al., IEEE CLUSTER 2012).
+//
+// PRIMACY is a preconditioner for standard lossless compressors applied to
+// hard-to-compress double-precision scientific data: it splits each value
+// into exponent-carrying high-order bytes and noisy mantissa bytes, remaps
+// the high-order byte pairs to frequency-ranked IDs, column-linearizes the
+// result, and lets ISOBAR-style analysis keep incompressible mantissa bytes
+// away from the solver. The package exposes the codec, a multi-core in-situ
+// pipeline, the paper's Section III performance model, the staging-I/O
+// simulator used as the hardware-testbed substitute, and the synthetic
+// stand-ins for the paper's 20 evaluation datasets.
+//
+// Quick start:
+//
+//	enc, err := primacy.CompressFloat64s(values, primacy.Options{})
+//	...
+//	dec, err := primacy.DecompressFloat64s(enc)
+package primacy
+
+import (
+	"io"
+
+	"primacy/internal/archive"
+	"primacy/internal/core"
+	"primacy/internal/datagen"
+	"primacy/internal/hpcsim"
+	"primacy/internal/model"
+	"primacy/internal/pipeline"
+	"primacy/internal/stream"
+)
+
+// Options configures the codec. The zero value selects the paper's
+// configuration: zlib solver, 3 MB chunks, frequency-ranked ID mapping,
+// column linearization, per-chunk indexes, ISOBAR enabled.
+type Options = core.Options
+
+// Stats reports compression-side accounting and performance-model inputs.
+type Stats = core.Stats
+
+// DecompStats reports decompression-side stage timing.
+type DecompStats = core.DecompStats
+
+// Linearization selects the ID-matrix layout fed to the solver.
+type Linearization = core.Linearization
+
+// IDMapping selects how high-order byte pairs become IDs.
+type IDMapping = core.IDMapping
+
+// IndexMode selects when chunk indexes are emitted.
+type IndexMode = core.IndexMode
+
+// Codec option constants (see the Options fields of the same names).
+const (
+	LinearizeColumns = core.LinearizeColumns
+	LinearizeRows    = core.LinearizeRows
+	MapRanked        = core.MapRanked
+	MapIdentity      = core.MapIdentity
+	IndexPerChunk    = core.IndexPerChunk
+	IndexReuse       = core.IndexReuse
+)
+
+// Compress compresses a byte stream of float64 data (length must be a
+// multiple of 8; use Float64sToBytes for serialization).
+func Compress(data []byte, opts Options) ([]byte, error) {
+	return core.Compress(data, opts)
+}
+
+// CompressWithStats is Compress plus measured model parameters.
+func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
+	return core.CompressWithStats(data, opts)
+}
+
+// CompressFloat64s serializes values big-endian and compresses them.
+func CompressFloat64s(values []float64, opts Options) ([]byte, error) {
+	return core.CompressFloat64s(values, opts)
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]byte, error) {
+	return core.Decompress(data)
+}
+
+// DecompressWithStats is Decompress plus read-side stage timing.
+func DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
+	return core.DecompressWithStats(data)
+}
+
+// DecompressFloat64s reverses CompressFloat64s.
+func DecompressFloat64s(data []byte) ([]float64, error) {
+	return core.DecompressFloat64s(data)
+}
+
+// ParallelOptions configures the multi-core in-situ pipeline.
+type ParallelOptions = pipeline.Options
+
+// ParallelCompress compresses data across multiple cores, the way an
+// in-situ integration uses the cores of a compute node.
+func ParallelCompress(data []byte, opts ParallelOptions) ([]byte, error) {
+	return pipeline.Compress(data, opts)
+}
+
+// ParallelDecompress reverses ParallelCompress.
+func ParallelDecompress(data []byte, opts ParallelOptions) ([]byte, error) {
+	return pipeline.Decompress(data, opts)
+}
+
+// StreamWriter compresses data written to it incrementally, emitting
+// independent chunk segments (see internal/stream).
+type StreamWriter = stream.Writer
+
+// StreamReader decompresses a stream produced by a StreamWriter.
+type StreamReader = stream.Reader
+
+// NewStreamWriter returns a streaming compressor over dst.
+func NewStreamWriter(dst io.Writer, opts Options) (*StreamWriter, error) {
+	return stream.NewWriter(dst, opts)
+}
+
+// NewStreamReader returns a streaming decompressor over src.
+func NewStreamReader(src io.Reader) *StreamReader {
+	return stream.NewReader(src)
+}
+
+// CompressFloat32s compresses single-precision values.
+func CompressFloat32s(values []float32, opts Options) ([]byte, error) {
+	return core.CompressFloat32s(values, opts)
+}
+
+// DecompressFloat32s reverses CompressFloat32s.
+func DecompressFloat32s(data []byte) ([]float32, error) {
+	return core.DecompressFloat32s(data)
+}
+
+// Precision selects the floating-point element width.
+type Precision = core.Precision
+
+// Precision constants.
+const (
+	Float64 = core.Float64
+	Float32 = core.Float32
+)
+
+// ArchiveWriter appends named variables per timestep to an ADIOS-style
+// archive file built on the PRIMACY codec.
+type ArchiveWriter = archive.Writer
+
+// ArchiveReader opens archives for random per-variable access.
+type ArchiveReader = archive.Reader
+
+// NewArchiveWriter starts an archive on dst.
+func NewArchiveWriter(dst io.Writer, opts Options) (*ArchiveWriter, error) {
+	return archive.NewWriter(dst, opts)
+}
+
+// NewArchiveReader parses an archive's table of contents for random access.
+func NewArchiveReader(src io.ReaderAt, size int64) (*ArchiveReader, error) {
+	return archive.NewReader(src, size)
+}
+
+// ChunkReader provides random access to individual chunks of a compressed
+// container (time-slice reads over large archives).
+type ChunkReader = core.ChunkReader
+
+// NewChunkReader parses container framing for random access; no payload is
+// decompressed until DecodeChunk / DecodeFloat64Range.
+func NewChunkReader(data []byte) (*ChunkReader, error) {
+	return core.NewChunkReader(data)
+}
+
+// ModelParams is the paper's Section III performance-model symbol table.
+type ModelParams = model.Params
+
+// CheckpointParams parameterizes the checkpoint/restart economics extension
+// (Young's optimal interval).
+type CheckpointParams = model.CheckpointParams
+
+// CheckpointPlan is the derived checkpoint operating point.
+type CheckpointPlan = model.CheckpointPlan
+
+// CheckpointSpeedup converts end-to-end I/O gains into application
+// efficiency improvement.
+func CheckpointSpeedup(base CheckpointParams, writeGain, readGain float64) (float64, error) {
+	return model.CheckpointSpeedup(base, writeGain, readGain)
+}
+
+// ModelBreakdown itemizes modeled end-to-end times and throughput.
+type ModelBreakdown = model.Breakdown
+
+// SimConfig configures the staging-environment simulator.
+type SimConfig = hpcsim.Config
+
+// SimResult summarizes one simulation.
+type SimResult = hpcsim.Result
+
+// SimulateWrite runs the bulk-synchronous write pipeline simulation.
+func SimulateWrite(cfg SimConfig) (SimResult, error) {
+	return hpcsim.SimulateWrite(cfg)
+}
+
+// SimulateRead runs the inverse (read) pipeline simulation.
+func SimulateRead(cfg SimConfig) (SimResult, error) {
+	return hpcsim.SimulateRead(cfg)
+}
+
+// DatasetSpec parameterizes one synthetic stand-in for a paper dataset.
+type DatasetSpec = datagen.Spec
+
+// Datasets returns the 20 synthetic datasets in the paper's Table III order.
+func Datasets() []DatasetSpec {
+	return datagen.Specs()
+}
+
+// DatasetByName looks a dataset up by its paper name (e.g. "gts_phi_l").
+func DatasetByName(name string) (DatasetSpec, bool) {
+	return datagen.ByName(name)
+}
+
+// PermuteValues returns a seeded random permutation of values (the paper's
+// user-controlled linearization experiment).
+func PermuteValues(values []float64, seed int64) []float64 {
+	return datagen.Permute(values, seed)
+}
