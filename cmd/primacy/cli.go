@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"os"
 
 	"primacy"
+	"primacy/internal/bytesplit"
 )
 
 // cli holds the parsed command configuration; separated from main so the
@@ -15,6 +17,8 @@ import (
 type cli struct {
 	compress   bool
 	decompress bool
+	verify     bool
+	salvage    bool
 	showStats  bool
 	out        string
 	solverName string
@@ -30,11 +34,18 @@ type cli struct {
 
 // parseArgs builds a cli from argv (excluding the program name).
 func parseArgs(args []string) (*cli, error) {
+	c := &cli{}
+	// Subcommand form: `primacy verify <file>` checks integrity without
+	// producing output.
+	if len(args) > 0 && args[0] == "verify" {
+		c.verify = true
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet("primacy", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	c := &cli{}
 	fs.BoolVar(&c.compress, "c", false, "compress the input file")
 	fs.BoolVar(&c.decompress, "d", false, "decompress the input file")
+	fs.BoolVar(&c.salvage, "salvage", false, "with -d: recover what a damaged file still holds, reporting lost regions")
 	fs.BoolVar(&c.showStats, "stats", false, "compress and print model statistics without writing output")
 	fs.StringVar(&c.out, "o", "", "output file (default: input + .prm, or stripped on -d)")
 	fs.StringVar(&c.solverName, "solver", "zlib", "solver: zlib, lzo, bzlib, none")
@@ -55,8 +66,17 @@ func parseArgs(args []string) (*cli, error) {
 	if c.showStats {
 		c.compress = true
 	}
+	if c.verify {
+		if c.compress || c.decompress {
+			return nil, errors.New("verify takes no -c / -d flags")
+		}
+		return c, nil
+	}
+	if c.salvage && !c.decompress {
+		return nil, errors.New("-salvage requires -d")
+	}
 	if c.compress == c.decompress {
-		return nil, errors.New("exactly one of -c / -d (or -stats) required")
+		return nil, errors.New("exactly one of -c / -d (or -stats, or the verify subcommand) required")
 	}
 	return c, nil
 }
@@ -88,10 +108,27 @@ func (c *cli) run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if c.verify {
+		return c.runVerify(w, data)
+	}
 	if c.compress {
 		return c.runCompress(w, data)
 	}
 	return c.runDecompress(w, data)
+}
+
+// runVerify checks the integrity of any PRIMACY artifact and reports every
+// detected fault. A corrupt file yields a non-nil error (exit status 1).
+func (c *cli) runVerify(w io.Writer, data []byte) error {
+	rep, err := primacy.Verify(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %s\n", c.input, rep)
+	if !rep.Clean() {
+		return fmt.Errorf("%s: %d corruption(s) found", c.input, len(rep.Corruptions))
+	}
+	return nil
 }
 
 func (c *cli) runCompress(w io.Writer, data []byte) error {
@@ -135,16 +172,12 @@ func (c *cli) runCompress(w io.Writer, data []byte) error {
 }
 
 func (c *cli) runDecompress(w io.Writer, data []byte) error {
-	// Parallel containers start with "PRP1", sequential with "PRM1".
-	var dec []byte
-	var err error
-	if len(data) >= 4 && string(data[:4]) == "PRP1" {
-		dec, err = primacy.ParallelDecompress(data, primacy.ParallelOptions{Workers: c.workers})
-	} else {
-		dec, err = primacy.Decompress(data)
-	}
+	dec, rep, err := c.decode(data)
 	if err != nil {
 		return err
+	}
+	if rep != nil && !rep.Clean() {
+		fmt.Fprintf(w, "salvage: %s\n", rep)
 	}
 	out := c.out
 	if out == "" {
@@ -159,4 +192,71 @@ func (c *cli) runDecompress(w io.Writer, data []byte) error {
 	}
 	fmt.Fprintf(w, "%s: %d -> %d bytes\n", out, len(data), len(dec))
 	return nil
+}
+
+// decode dispatches on the container magic — parallel ("PRP"), stream
+// ("PRS"), or sequential core — honoring -salvage.
+func (c *cli) decode(data []byte) ([]byte, *primacy.CorruptionReport, error) {
+	kind := ""
+	if len(data) >= 4 {
+		kind = string(data[:3])
+	}
+	switch kind {
+	case "PRP":
+		if c.salvage {
+			return primacy.ParallelDecompressSalvage(data, primacy.ParallelOptions{Workers: c.workers})
+		}
+		dec, err := primacy.ParallelDecompress(data, primacy.ParallelOptions{Workers: c.workers})
+		return dec, nil, err
+	case "PRS":
+		if c.salvage {
+			r := primacy.NewSalvageStreamReader(bytes.NewReader(data))
+			dec, err := io.ReadAll(r)
+			return dec, r.Report(), err
+		}
+		dec, err := io.ReadAll(primacy.NewStreamReader(bytes.NewReader(data)))
+		return dec, nil, err
+	case "PAR":
+		if c.salvage {
+			r, rep, err := primacy.OpenArchiveSalvage(bytes.NewReader(data), int64(len(data)))
+			if err != nil {
+				return nil, rep, err
+			}
+			dec, err := archiveBytes(r, rep)
+			return dec, rep, err
+		}
+		r, err := primacy.NewArchiveReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, nil, err
+		}
+		dec, err := archiveBytes(r, nil)
+		return dec, nil, err
+	default:
+		if c.salvage {
+			return primacy.DecompressSalvage(data)
+		}
+		dec, err := primacy.Decompress(data)
+		return dec, nil, err
+	}
+}
+
+// archiveBytes concatenates every archive entry (variables sorted, steps
+// ascending) as big-endian float64 bytes. With a non-nil report, entries
+// that fail to decode are recorded and skipped instead of aborting.
+func archiveBytes(r *primacy.ArchiveReader, rep *primacy.CorruptionReport) ([]byte, error) {
+	var out []byte
+	for _, name := range r.Variables() {
+		for _, step := range r.Steps(name) {
+			values, err := r.GetFloat64s(name, step)
+			if err != nil {
+				if rep == nil {
+					return nil, err
+				}
+				rep.Add(0, -1, fmt.Errorf("entry %s@%d: %w", name, step, err))
+				continue
+			}
+			out = append(out, bytesplit.Float64sToBytes(values)...)
+		}
+	}
+	return out, nil
 }

@@ -4,8 +4,13 @@
 // Usage:
 //
 //	primacy -c [-solver zlib] [-chunk 3145728] [-workers N] [-o out.prm] input.f64
-//	primacy -d [-workers N] [-o out.f64] input.prm
+//	primacy -d [-salvage] [-workers N] [-o out.f64] input.prm
 //	primacy -stats input.f64
+//	primacy verify file.prm
+//
+// verify checks the CRC32C checksums and structure of any PRIMACY artifact
+// (core/parallel container, stream, or archive) and exits non-zero when
+// corruption is found; -d -salvage recovers what a damaged file still holds.
 package main
 
 import (

@@ -4,12 +4,20 @@
 // analysis later opens the file and reads one variable at one timestep
 // without touching the rest.
 //
-// File layout:
+// File layout (v2, written by Writer):
 //
-//	"PAR1" | entry* | TOC | u64 tocOffset | "PAR1"
-//	entry  = PRIMACY container (one variable at one timestep)
+//	"PAR2" | entry* | TOC | u64 tocOffset | "PAR2"
+//	entry  = "PAE2" | u16 nameLen | name | u32 step | u64 rawLen |
+//	         u32 hdrCRC | PRIMACY container (one variable at one timestep)
 //	TOC    = u32 count | count × (u16 nameLen | name | u32 step |
-//	         u64 offset | u64 length | u64 rawLen)
+//	         u64 offset | u64 length | u64 rawLen | u32 entryCRC) |
+//	         u32 tocCRC
+//
+// entryCRC is the CRC32C of the whole entry (header and container); tocCRC
+// covers the TOC bytes before it. The per-entry header repeats the name and
+// step and carries its own CRC, so a lost TOC can be rebuilt by scanning
+// for entry magics (see OpenSalvage). v1 archives ("PAR1": bare containers,
+// no checksums) are still read.
 //
 // The table of contents sits at the end so entries stream out as they are
 // produced; the trailing magic+offset makes the file self-locating.
@@ -22,13 +30,27 @@ import (
 	"io"
 	"sort"
 
+	"primacy/internal/checksum"
 	"primacy/internal/core"
 )
 
-const magic = "PAR1"
+// Archive magics: v1 is the original checksum-less layout, v2 adds framed
+// checksummed entries and a TOC checksum. Writers emit v2; readers accept
+// both.
+const (
+	magicV1 = "PAR1"
+	magicV2 = "PAR2"
+	// entryMagic frames each v2 entry so salvage can find entries without
+	// a TOC.
+	entryMagic = "PAE2"
+)
 
 // ErrCorrupt indicates a malformed archive.
 var ErrCorrupt = errors.New("archive: corrupt archive")
+
+// ErrChecksum indicates a CRC32C mismatch on a v2 archive structure; it is
+// wrapped together with ErrCorrupt.
+var ErrChecksum = errors.New("checksum mismatch")
 
 // ErrNotFound indicates a missing variable/step pair.
 var ErrNotFound = errors.New("archive: entry not found")
@@ -39,7 +61,15 @@ type tocEntry struct {
 	Offset uint64
 	Length uint64
 	RawLen uint64
+	// CRC is the CRC32C of the entry bytes (v2 TOC entries only).
+	CRC    uint32
+	HasCRC bool
+	// Framed marks entries carrying the v2 per-entry header.
+	Framed bool
 }
+
+// entryHeaderLen is the v2 per-entry header size for a given variable name.
+func entryHeaderLen(name string) int { return 4 + 2 + len(name) + 4 + 8 + 4 }
 
 // Writer appends variables to an archive. Not safe for concurrent use.
 type Writer struct {
@@ -52,7 +82,7 @@ type Writer struct {
 
 // NewWriter starts an archive on dst with the given codec options.
 func NewWriter(dst io.Writer, opts core.Options) (*Writer, error) {
-	n, err := dst.Write([]byte(magic))
+	n, err := dst.Write([]byte(magicV2))
 	if err != nil {
 		return nil, err
 	}
@@ -79,17 +109,35 @@ func (w *Writer) PutFloat64s(name string, step int, values []float64) error {
 	if err != nil {
 		return err
 	}
-	if _, err := w.dst.Write(enc); err != nil {
+	rawLen := uint64(len(values) * 8)
+	frame := make([]byte, 0, entryHeaderLen(name)+len(enc))
+	frame = append(frame, entryMagic...)
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64b [8]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(name)))
+	frame = append(frame, u16[:]...)
+	frame = append(frame, name...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(step))
+	frame = append(frame, u32[:]...)
+	binary.LittleEndian.PutUint64(u64b[:], rawLen)
+	frame = append(frame, u64b[:]...)
+	frame = checksum.Append(frame, frame)
+	frame = append(frame, enc...)
+	if _, err := w.dst.Write(frame); err != nil {
 		return err
 	}
 	w.toc = append(w.toc, tocEntry{
 		Name:   name,
 		Step:   uint32(step),
 		Offset: w.pos,
-		Length: uint64(len(enc)),
-		RawLen: uint64(len(values) * 8),
+		Length: uint64(len(frame)),
+		RawLen: rawLen,
+		CRC:    checksum.Sum(frame),
+		HasCRC: true,
+		Framed: true,
 	})
-	w.pos += uint64(len(enc))
+	w.pos += uint64(len(frame))
 	return nil
 }
 
@@ -115,10 +163,13 @@ func (w *Writer) Close() error {
 			binary.LittleEndian.PutUint64(u64[:], v)
 			buf = append(buf, u64[:]...)
 		}
+		binary.LittleEndian.PutUint32(u32[:], e.CRC)
+		buf = append(buf, u32[:]...)
 	}
+	buf = checksum.Append(buf, buf)
 	binary.LittleEndian.PutUint64(u64[:], tocOffset)
 	buf = append(buf, u64[:]...)
-	buf = append(buf, magic...)
+	buf = append(buf, magicV2...)
 	if _, err := w.dst.Write(buf); err != nil {
 		return err
 	}
@@ -128,39 +179,69 @@ func (w *Writer) Close() error {
 
 // Reader opens archives for random access via io.ReaderAt.
 type Reader struct {
-	src io.ReaderAt
-	toc []tocEntry
+	src     io.ReaderAt
+	toc     []tocEntry
+	version int
 }
 
 // NewReader parses the trailer and table of contents. size is the total
-// archive length in bytes (e.g. from os.FileInfo).
+// archive length in bytes (e.g. from os.FileInfo). Both format versions are
+// accepted; the v2 TOC checksum is verified before any entry is trusted.
 func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
-	if size < int64(len(magic))*2+8 {
+	if size < int64(len(magicV1))*2+8 {
 		return nil, fmt.Errorf("%w: too small", ErrCorrupt)
 	}
 	head := make([]byte, 4)
 	if _, err := src.ReadAt(head, 0); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if string(head) != magic {
+	r := &Reader{src: src}
+	switch string(head) {
+	case magicV1:
+		r.version = 1
+	case magicV2:
+		r.version = 2
+	default:
 		return nil, fmt.Errorf("%w: bad leading magic", ErrCorrupt)
 	}
 	trailer := make([]byte, 12)
 	if _, err := src.ReadAt(trailer, size-12); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if string(trailer[8:]) != magic {
+	if string(trailer[8:]) != string(head) {
 		return nil, fmt.Errorf("%w: bad trailing magic", ErrCorrupt)
 	}
 	tocOffset := binary.LittleEndian.Uint64(trailer[:8])
-	if tocOffset < 4 || int64(tocOffset) > size-12 {
+	// Compare in uint64 space: casting a huge offset to int64 would go
+	// negative and slip past the bound.
+	if tocOffset < 4 || tocOffset > uint64(size-12) {
 		return nil, fmt.Errorf("%w: TOC offset %d out of range", ErrCorrupt, tocOffset)
 	}
 	tocBytes := make([]byte, size-12-int64(tocOffset))
 	if _, err := src.ReadAt(tocBytes, int64(tocOffset)); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	r := &Reader{src: src}
+	if r.version >= 2 {
+		if len(tocBytes) < 4 {
+			return nil, fmt.Errorf("%w: truncated TOC", ErrCorrupt)
+		}
+		body := tocBytes[:len(tocBytes)-4]
+		if !checksum.Check(tocBytes[len(tocBytes)-4:], body) {
+			return nil, fmt.Errorf("%w: TOC: %w", ErrCorrupt, ErrChecksum)
+		}
+		tocBytes = body
+	}
+	toc, err := parseTOC(tocBytes, tocOffset, r.version)
+	if err != nil {
+		return nil, err
+	}
+	r.toc = toc
+	return r, nil
+}
+
+// parseTOC decodes the table of contents and validates every entry's range
+// against the data region [4, tocOffset).
+func parseTOC(tocBytes []byte, tocOffset uint64, version int) ([]tocEntry, error) {
 	pos := 0
 	need := func(n int) error {
 		if pos+n > len(tocBytes) {
@@ -173,16 +254,24 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(tocBytes[pos:]))
 	pos += 4
-	if count < 0 || count > 1<<24 {
-		return nil, fmt.Errorf("%w: %d TOC entries", ErrCorrupt, count)
+	// A TOC entry takes at least 30 bytes (34 in v2), so the count cannot
+	// exceed what the TOC region can hold — reject before any per-entry
+	// work.
+	if count < 0 || count > len(tocBytes)/30 {
+		return nil, fmt.Errorf("%w: %d TOC entries in %d bytes", ErrCorrupt, count, len(tocBytes))
 	}
+	var toc []tocEntry
 	for i := 0; i < count; i++ {
 		if err := need(2); err != nil {
 			return nil, err
 		}
 		nameLen := int(binary.LittleEndian.Uint16(tocBytes[pos:]))
 		pos += 2
-		if err := need(nameLen + 4 + 24); err != nil {
+		extra := 0
+		if version >= 2 {
+			extra = 4
+		}
+		if err := need(nameLen + 4 + 24 + extra); err != nil {
 			return nil, err
 		}
 		e := tocEntry{Name: string(tocBytes[pos : pos+nameLen])}
@@ -193,15 +282,23 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 		e.Length = binary.LittleEndian.Uint64(tocBytes[pos+8:])
 		e.RawLen = binary.LittleEndian.Uint64(tocBytes[pos+16:])
 		pos += 24
-		if e.Offset < 4 || e.Offset+e.Length > tocOffset {
+		if version >= 2 {
+			e.CRC = binary.LittleEndian.Uint32(tocBytes[pos:])
+			e.HasCRC = true
+			e.Framed = true
+			pos += 4
+		}
+		// Guard against uint64 overflow in Offset+Length: validate each
+		// bound independently against the data region.
+		if e.Offset < 4 || e.Length > tocOffset || e.Offset > tocOffset-e.Length {
 			return nil, fmt.Errorf("%w: entry %s@%d range invalid", ErrCorrupt, e.Name, e.Step)
 		}
-		r.toc = append(r.toc, e)
+		toc = append(toc, e)
 	}
 	if pos != len(tocBytes) {
 		return nil, fmt.Errorf("%w: %d trailing TOC bytes", ErrCorrupt, len(tocBytes)-pos)
 	}
-	return r, nil
+	return toc, nil
 }
 
 // Variables lists the distinct variable names, sorted.
@@ -233,15 +330,75 @@ func (r *Reader) Steps(name string) []int {
 // NumEntries reports the total entry count.
 func (r *Reader) NumEntries() int { return len(r.toc) }
 
+// entryBody reads and validates one entry, returning its embedded PRIMACY
+// container bytes.
+func (r *Reader) entryBody(e tocEntry) ([]byte, error) {
+	enc := make([]byte, e.Length)
+	if _, err := r.src.ReadAt(enc, int64(e.Offset)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if e.HasCRC && checksum.Sum(enc) != e.CRC {
+		return nil, fmt.Errorf("%w: entry %s@%d: %w", ErrCorrupt, e.Name, e.Step, ErrChecksum)
+	}
+	if !e.Framed {
+		return enc, nil
+	}
+	hdr, err := parseEntryHeader(enc)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.name != e.Name || hdr.step != e.Step {
+		return nil, fmt.Errorf("%w: entry header says %s@%d, TOC says %s@%d",
+			ErrCorrupt, hdr.name, hdr.step, e.Name, e.Step)
+	}
+	return enc[hdr.len:], nil
+}
+
+// entryHeader is the parsed v2 per-entry frame header.
+type entryHeader struct {
+	name   string
+	step   uint32
+	rawLen uint64
+	len    int
+}
+
+// parseEntryHeader decodes and CRC-verifies a v2 entry header at the start
+// of b.
+func parseEntryHeader(b []byte) (entryHeader, error) {
+	var h entryHeader
+	if len(b) < 4+2 {
+		return h, fmt.Errorf("%w: truncated entry header", ErrCorrupt)
+	}
+	if string(b[:4]) != entryMagic {
+		return h, fmt.Errorf("%w: bad entry magic", ErrCorrupt)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(b[4:]))
+	h.len = 4 + 2 + nameLen + 4 + 8 + 4
+	if nameLen == 0 || h.len > len(b) {
+		return h, fmt.Errorf("%w: truncated entry header", ErrCorrupt)
+	}
+	pos := 6
+	h.name = string(b[pos : pos+nameLen])
+	pos += nameLen
+	h.step = binary.LittleEndian.Uint32(b[pos:])
+	pos += 4
+	h.rawLen = binary.LittleEndian.Uint64(b[pos:])
+	pos += 8
+	if !checksum.Check(b[pos:], b[:pos]) {
+		return h, fmt.Errorf("%w: entry header: %w", ErrCorrupt, ErrChecksum)
+	}
+	return h, nil
+}
+
 // GetFloat64s reads one variable at one timestep.
 func (r *Reader) GetFloat64s(name string, step int) ([]float64, error) {
 	for _, e := range r.toc {
 		if e.Name == name && int(e.Step) == step {
-			enc := make([]byte, e.Length)
-			if _, err := r.src.ReadAt(enc, int64(e.Offset)); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			body, err := r.entryBody(e)
+			if err != nil {
+				return nil, err
 			}
-			values, err := core.DecompressFloat64s(enc)
+			values, err := core.DecompressFloat64s(body)
 			if err != nil {
 				return nil, err
 			}

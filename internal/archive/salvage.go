@@ -1,0 +1,181 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"primacy/internal/checksum"
+	"primacy/internal/core"
+)
+
+// OpenSalvage opens a damaged archive best-effort. If the trailer and TOC
+// parse cleanly, entries that fail their checksum are dropped into the
+// report and the rest stay readable. If the TOC itself is lost (truncated
+// file, corrupt trailer, failed TOC checksum), the data region is scanned
+// for entry magics and the TOC is rebuilt: v2 entries recover their names
+// and steps from the per-entry headers; bare v1 containers found without a
+// header are exposed under synthesized names ("recovered-N", step 0).
+//
+// The error is non-nil only when nothing is recoverable.
+func OpenSalvage(src io.ReaderAt, size int64) (*Reader, *core.CorruptionReport, error) {
+	rep := &core.CorruptionReport{}
+	if r, err := NewReader(src, size); err == nil {
+		if r.version == 1 {
+			rep.Format = magicV1
+		} else {
+			rep.Format = magicV2
+		}
+		// TOC is intact: keep only entries whose bytes verify.
+		var kept []tocEntry
+		for i, e := range r.toc {
+			if _, berr := r.entryBody(e); berr != nil {
+				rep.Add(int(e.Offset), i, berr)
+				continue
+			}
+			kept = append(kept, e)
+		}
+		r.toc = kept
+		return r, rep, nil
+	} else {
+		rep.Add(0, -1, err)
+	}
+
+	// TOC unusable: scan the whole file for entries.
+	if size <= 0 {
+		return nil, rep, fmt.Errorf("%w: empty archive", ErrCorrupt)
+	}
+	buf := make([]byte, size)
+	if _, err := src.ReadAt(buf, 0); err != nil {
+		return nil, rep, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	r := &Reader{src: src, version: 2}
+	if len(buf) >= 4 {
+		rep.Format = string(buf[:4])
+	}
+	recovered := 0
+	pos := 0
+	for pos < len(buf) {
+		c := nextEntryOrContainer(buf, pos)
+		if c < 0 {
+			break
+		}
+		if string(buf[c:c+4]) == entryMagic {
+			hdr, err := parseEntryHeader(buf[c:])
+			if err == nil {
+				encLen, _, _, ferr := core.Frame(buf[c+hdr.len:])
+				if ferr == nil {
+					r.toc = append(r.toc, tocEntry{
+						Name:   hdr.name,
+						Step:   hdr.step,
+						Offset: uint64(c),
+						Length: uint64(hdr.len + encLen),
+						RawLen: hdr.rawLen,
+						Framed: true,
+					})
+					pos = c + hdr.len + encLen
+					continue
+				}
+				rep.Add(c, len(r.toc), fmt.Errorf("%w: entry %s@%d container: %v", ErrCorrupt, hdr.name, hdr.step, ferr))
+			} else {
+				rep.Add(c, len(r.toc), err)
+			}
+			pos = c + 1
+			continue
+		}
+		// Bare container magic: a v1 entry, or a v2 entry whose frame
+		// header was destroyed.
+		encLen, rawLen, _, err := core.Frame(buf[c:])
+		if err != nil {
+			pos = c + 1
+			continue
+		}
+		r.toc = append(r.toc, tocEntry{
+			Name:   fmt.Sprintf("recovered-%d", recovered),
+			Step:   0,
+			Offset: uint64(c),
+			Length: uint64(encLen),
+			RawLen: uint64(rawLen),
+		})
+		recovered++
+		pos = c + encLen
+	}
+	if len(r.toc) == 0 {
+		return nil, rep, fmt.Errorf("%w: no recoverable entries", ErrCorrupt)
+	}
+	return r, rep, nil
+}
+
+// nextEntryOrContainer returns the lowest offset ≥ from of an entry or
+// core-container magic, or -1.
+func nextEntryOrContainer(buf []byte, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(buf) {
+		from = len(buf)
+	}
+	best := -1
+	for _, m := range []string{entryMagic, "PRM2", "PRM1"} {
+		if i := bytes.Index(buf[from:], []byte(m)); i >= 0 {
+			cand := from + i
+			if best < 0 || cand < best {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// Verify checks an archive's integrity end to end: trailer, TOC checksum,
+// per-entry checksums, and a full verify of every embedded container. The
+// report lists every detected fault; a nil error does not mean the archive
+// is clean — check CorruptionReport.Clean.
+func Verify(src io.ReaderAt, size int64) (*core.CorruptionReport, error) {
+	rep := &core.CorruptionReport{}
+	var magic [4]byte
+	if _, err := src.ReadAt(magic[:], 0); err == nil {
+		if m := string(magic[:]); m == magicV1 || m == magicV2 {
+			rep.Format = m
+		}
+	}
+	r, err := NewReader(src, size)
+	if err != nil {
+		rep.Add(0, -1, err)
+		return rep, nil
+	}
+	if r.version == 1 {
+		rep.Format = magicV1
+	} else {
+		rep.Format = magicV2
+	}
+	for i, e := range r.toc {
+		enc := make([]byte, e.Length)
+		if _, err := r.src.ReadAt(enc, int64(e.Offset)); err != nil {
+			rep.Add(int(e.Offset), i, fmt.Errorf("%w: %v", ErrCorrupt, err))
+			continue
+		}
+		if e.HasCRC && checksum.Sum(enc) != e.CRC {
+			rep.Add(int(e.Offset), i, fmt.Errorf("%w: entry %s@%d: %w", ErrCorrupt, e.Name, e.Step, ErrChecksum))
+			continue
+		}
+		body := enc
+		bodyOff := 0
+		if e.Framed {
+			hdr, herr := parseEntryHeader(enc)
+			if herr != nil {
+				rep.Add(int(e.Offset), i, herr)
+				continue
+			}
+			body = enc[hdr.len:]
+			bodyOff = hdr.len
+		}
+		subRep, verr := core.Verify(body)
+		if verr != nil {
+			rep.Add(int(e.Offset)+bodyOff, i, verr)
+			continue
+		}
+		rep.Merge(int(e.Offset)+bodyOff, subRep)
+	}
+	return rep, nil
+}

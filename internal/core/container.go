@@ -1,0 +1,262 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"primacy/internal/bytesplit"
+	"primacy/internal/checksum"
+)
+
+// Container magics. v1 is the original checksum-less layout; v2 appends a
+// CRC32C to the fixed header and frames every chunk record with one.
+// Writers emit v2; readers accept both.
+const (
+	magicV1 = "PRM1"
+	magicV2 = "PRM2"
+)
+
+// ErrChecksum indicates a CRC32C mismatch in a v2 container. It is always
+// wrapped together with the package's ErrCorrupt sentinel, so callers may
+// test for either.
+var ErrChecksum = errors.New("checksum mismatch")
+
+// minChunkRecLen is the smallest well-formed chunk record: rawLen u32 +
+// index flag + idsLen u32 + ISOBAR mask + compLen u32 + incompLen u32.
+const minChunkRecLen = 18
+
+// maxChunkRaw caps the claimed decoded size of a single chunk. The codec
+// never writes chunks anywhere near this large; an adversarial header
+// claiming more fails fast instead of driving allocations.
+const maxChunkRaw = 1 << 31
+
+// header is the parsed fixed prefix of a core container.
+type header struct {
+	version    int
+	lin        Linearization
+	mapping    IDMapping
+	prec       Precision
+	lay        bytesplit.Layout
+	solverName string
+	total      uint64
+	// end is the offset of the first chunk frame.
+	end int
+	// crcOK reports whether the v2 header checksum verified (always true
+	// for v1). The strict decode path rejects a false value; salvage
+	// records it and keeps going with the fields as parsed.
+	crcOK bool
+}
+
+// frameHdrLen is the per-chunk framing overhead: u32 length, plus a u32
+// CRC32C in v2.
+func (h *header) frameHdrLen() int {
+	if h.version >= 2 {
+		return 8
+	}
+	return 4
+}
+
+// parseHeader parses and validates the fixed container prefix. It fails
+// only when the header is unusable; a v2 checksum mismatch is reported via
+// h.crcOK so salvage can proceed best-effort.
+func parseHeader(data []byte) (*header, error) {
+	// Fixed prefix: magic(4) + flags(4) + precision(1) + nameLen(1).
+	if len(data) < 4+4+1+1 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	h := &header{crcOK: true}
+	switch string(data[:4]) {
+	case magicV1:
+		h.version = 1
+	case magicV2:
+		h.version = 2
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	pos := 4
+	h.lin = Linearization(data[pos])
+	h.mapping = IDMapping(data[pos+1])
+	// data[pos+2] is the index mode, data[pos+3] the ISOBAR flag; both are
+	// informational on decode (the chunk records are self-describing).
+	pos += 4
+	h.prec = Precision(data[pos])
+	pos++
+	lay, err := h.prec.layout()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	h.lay = lay
+	nameLen := int(data[pos])
+	pos++
+	tail := 12
+	if h.version >= 2 {
+		tail += 4 // header CRC
+	}
+	if pos+nameLen+tail > len(data) {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	h.solverName = string(data[pos : pos+nameLen])
+	pos += nameLen
+	h.total = binary.LittleEndian.Uint64(data[pos:])
+	pos += 8
+	pos += 4 // chunkBytes: informational
+	if h.version >= 2 {
+		h.crcOK = checksum.Check(data[pos:], data[:pos])
+		pos += 4
+	}
+	if h.total > 1<<40 {
+		return nil, fmt.Errorf("%w: absurd size %d", ErrCorrupt, h.total)
+	}
+	h.end = pos
+	return h, nil
+}
+
+// frame returns the chunk record starting at pos and the offset of the next
+// frame. In v2 the record's CRC32C is verified before it is returned.
+func (h *header) frame(data []byte, pos int) (rec []byte, next int, err error) {
+	fh := h.frameHdrLen()
+	if pos+fh > len(data) {
+		return nil, 0, fmt.Errorf("%w: truncated chunk size", ErrCorrupt)
+	}
+	clen := int(binary.LittleEndian.Uint32(data[pos:]))
+	if clen < 0 || clen > len(data)-pos-fh {
+		return nil, 0, fmt.Errorf("%w: truncated chunk (%d bytes claimed, %d remain)",
+			ErrCorrupt, clen, len(data)-pos-fh)
+	}
+	rec = data[pos+fh : pos+fh+clen]
+	if h.version >= 2 && !checksum.Check(data[pos+4:], rec) {
+		return nil, 0, fmt.Errorf("%w: chunk record at offset %d: %w", ErrCorrupt, pos, ErrChecksum)
+	}
+	return rec, pos + fh + clen, nil
+}
+
+// resync scans forward from `from` for the next plausible chunk frame. For
+// v2 plausibility means a bounds-valid length whose CRC32C verifies; for v1
+// (no checksums) it means a structurally valid record prefix.
+func (h *header) resync(data []byte, from int) (int, bool) {
+	fh := h.frameHdrLen()
+	for pos := from; pos+fh+minChunkRecLen <= len(data); pos++ {
+		clen := int(binary.LittleEndian.Uint32(data[pos:]))
+		if clen < minChunkRecLen || clen > len(data)-pos-fh {
+			continue
+		}
+		rec := data[pos+fh : pos+fh+clen]
+		if h.version >= 2 {
+			if checksum.Check(data[pos+4:], rec) {
+				return pos, true
+			}
+			continue
+		}
+		rawLen := int(binary.LittleEndian.Uint32(rec))
+		if rawLen <= 0 || rawLen > maxChunkRaw || rawLen%h.lay.ElemBytes != 0 || rec[4] > 1 {
+			continue
+		}
+		return pos, true
+	}
+	return 0, false
+}
+
+// Frame walks the framing of the container at the start of data — headers
+// and chunk sizes only, no payload decompression — and reports its encoded
+// length, claimed decoded size, and format version. Trailing bytes after
+// the container are ignored, which lets salvage scanners measure embedded
+// containers found mid-stream.
+func Frame(data []byte) (encLen, rawLen, version int, err error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if !h.crcOK {
+		return 0, 0, 0, fmt.Errorf("%w: header: %w", ErrCorrupt, ErrChecksum)
+	}
+	pos := h.end
+	rawSeen := 0
+	for uint64(rawSeen) < h.total {
+		rec, next, err := h.frame(data, pos)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if len(rec) < minChunkRecLen {
+			return 0, 0, 0, fmt.Errorf("%w: chunk record %d bytes", ErrCorrupt, len(rec))
+		}
+		crl := int(binary.LittleEndian.Uint32(rec))
+		if crl <= 0 || crl > maxChunkRaw || crl%h.lay.ElemBytes != 0 {
+			return 0, 0, 0, fmt.Errorf("%w: chunk raw length %d", ErrCorrupt, crl)
+		}
+		rawSeen += crl
+		pos = next
+	}
+	if uint64(rawSeen) != h.total {
+		return 0, 0, 0, fmt.Errorf("%w: chunk sizes sum to %d, header says %d", ErrCorrupt, rawSeen, h.total)
+	}
+	return pos, rawSeen, h.version, nil
+}
+
+// Corruption locates one fault detected during a verify or salvage pass.
+type Corruption struct {
+	// Offset is the byte position in the container (or stream/archive)
+	// where the fault was detected.
+	Offset int
+	// Chunk is the chunk / segment / shard / entry index, or -1 when the
+	// fault is not tied to one (e.g. a header or trailer fault).
+	Chunk int
+	// Err describes the fault.
+	Err error
+}
+
+func (c Corruption) String() string {
+	if c.Chunk < 0 {
+		return fmt.Sprintf("offset %d: %v", c.Offset, c.Err)
+	}
+	return fmt.Sprintf("offset %d (chunk %d): %v", c.Offset, c.Chunk, c.Err)
+}
+
+// CorruptionReport aggregates the faults found by a verify or salvage pass
+// over one container.
+type CorruptionReport struct {
+	// Format is the magic of the examined container (e.g. "PRM2").
+	Format string
+	// Corruptions lists detected faults in offset order.
+	Corruptions []Corruption
+}
+
+// Clean reports whether no corruption was found.
+func (r *CorruptionReport) Clean() bool { return r == nil || len(r.Corruptions) == 0 }
+
+// Add records one fault. It is exported for the stream, pipeline, and
+// archive containers, which reuse this report type for their own passes.
+func (r *CorruptionReport) Add(offset, chunk int, err error) {
+	r.Corruptions = append(r.Corruptions, Corruption{Offset: offset, Chunk: chunk, Err: err})
+}
+
+// Merge folds sub's findings into r, shifting offsets by base (used when a
+// container is nested inside a stream, shard, or archive entry).
+func (r *CorruptionReport) Merge(base int, sub *CorruptionReport) {
+	if sub == nil {
+		return
+	}
+	for _, c := range sub.Corruptions {
+		r.Add(base+c.Offset, c.Chunk, c.Err)
+	}
+}
+
+func (r *CorruptionReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("%s: ok", r.format())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d corruption(s)", r.format(), len(r.Corruptions))
+	for _, c := range r.Corruptions {
+		fmt.Fprintf(&b, "\n  %s", c)
+	}
+	return b.String()
+}
+
+func (r *CorruptionReport) format() string {
+	if r == nil || r.Format == "" {
+		return "container"
+	}
+	return r.Format
+}

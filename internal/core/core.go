@@ -14,13 +14,12 @@ import (
 	"time"
 
 	"primacy/internal/bytesplit"
+	"primacy/internal/checksum"
 	"primacy/internal/chunker"
 	"primacy/internal/freq"
 	"primacy/internal/isobar"
 	"primacy/internal/solver"
 )
-
-const magic = "PRM1"
 
 // Linearization selects how the ID matrix is laid out before the solver.
 type Linearization uint8
@@ -225,7 +224,7 @@ func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
 	}
 
 	out := make([]byte, 0, len(data)/2+256)
-	out = append(out, magic...)
+	out = append(out, magicV2...)
 	out = append(out, byte(opts.Linearization), byte(opts.Mapping), byte(opts.IndexMode), boolByte(opts.DisableISOBAR))
 	out = append(out, byte(opts.Precision))
 	name := opts.solverName()
@@ -235,6 +234,7 @@ func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
 	binary.LittleEndian.PutUint64(hdr[:8], uint64(len(data)))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(plan.ChunkBytes()))
 	out = append(out, hdr[:]...)
+	out = checksum.Append(out, out)
 
 	stats.RawBytes = len(data)
 	stats.Alpha1 = float64(lay.HiBytes) / float64(lay.ElemBytes)
@@ -255,6 +255,7 @@ func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
 		var sz [4]byte
 		binary.LittleEndian.PutUint32(sz[:], uint32(len(enc)))
 		out = append(out, sz[:]...)
+		out = checksum.Append(out, enc)
 		out = append(out, enc...)
 		stats.Chunks++
 		stats.IndexBytes += ci.indexBytes
@@ -474,76 +475,48 @@ func Decompress(data []byte) ([]byte, error) {
 	return out, err
 }
 
-// DecompressWithStats decompresses and reports read-side stage timing.
+// DecompressWithStats decompresses and reports read-side stage timing. Both
+// container versions are accepted; v2 inputs have their header and per-chunk
+// CRC32C checksums verified, and any mismatch fails the decode with an error
+// wrapping both ErrCorrupt and ErrChecksum.
 func DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
 	var ds DecompStats
-	// Fixed header prefix: magic(4) + flags(4) + precision(1) + nameLen(1).
-	if len(data) < 4+4+1+1 {
-		return nil, ds, fmt.Errorf("%w: short header", ErrCorrupt)
-	}
-	if string(data[:4]) != magic {
-		return nil, ds, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	pos := 4
-	lin := Linearization(data[pos])
-	mapping := IDMapping(data[pos+1])
-	// data[pos+2] is the index mode, data[pos+3] the ISOBAR flag; both are
-	// informational on decode (the chunk records are self-describing).
-	pos += 4
-	if pos >= len(data) {
-		return nil, ds, fmt.Errorf("%w: truncated header", ErrCorrupt)
-	}
-	prec := Precision(data[pos])
-	pos++
-	lay, err := prec.layout()
+	h, err := parseHeader(data)
 	if err != nil {
-		return nil, ds, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, ds, err
 	}
-	nameLen := int(data[pos])
-	pos++
-	if pos+nameLen+12 > len(data) {
-		return nil, ds, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	if !h.crcOK {
+		return nil, ds, fmt.Errorf("%w: header: %w", ErrCorrupt, ErrChecksum)
 	}
-	name := string(data[pos : pos+nameLen])
-	pos += nameLen
-	total := binary.LittleEndian.Uint64(data[pos:])
-	pos += 8
-	pos += 4 // chunkBytes: informational
-	if total > 1<<40 {
-		return nil, ds, fmt.Errorf("%w: absurd size %d", ErrCorrupt, total)
-	}
-	sv, err := solver.Get(name)
+	sv, err := solver.Get(h.solverName)
 	if err != nil {
 		return nil, ds, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
 	// Clamp the preallocation: total is attacker-controlled and must not
 	// allocate memory the chunk records cannot back.
-	preTotal := total
+	preTotal := h.total
 	if preTotal > 8<<20 {
 		preTotal = 8 << 20
 	}
 	out := make([]byte, 0, preTotal)
+	pos := h.end
 	var prevIndex *freq.Index
-	for uint64(len(out)) < total {
-		if pos+4 > len(data) {
-			return nil, ds, fmt.Errorf("%w: truncated chunk size", ErrCorrupt)
+	for uint64(len(out)) < h.total {
+		rec, next, err := h.frame(data, pos)
+		if err != nil {
+			return nil, ds, err
 		}
-		clen := int(binary.LittleEndian.Uint32(data[pos:]))
-		pos += 4
-		if clen < 0 || pos+clen > len(data) {
-			return nil, ds, fmt.Errorf("%w: truncated chunk", ErrCorrupt)
-		}
-		chunk, idx, err := decompressChunk(data[pos:pos+clen], sv, lin, mapping, lay, prevIndex, &ds)
+		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds)
 		if err != nil {
 			return nil, ds, err
 		}
 		prevIndex = idx
-		pos += clen
+		pos = next
 		out = append(out, chunk...)
 	}
-	if uint64(len(out)) != total {
-		return nil, ds, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), total)
+	if uint64(len(out)) != h.total {
+		return nil, ds, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), h.total)
 	}
 	ds.RawBytes = len(out)
 	return out, ds, nil
@@ -572,7 +545,7 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 	if err != nil {
 		return nil, nil, err
 	}
-	if rawLen%lay.ElemBytes != 0 || rawLen < 0 {
+	if rawLen%lay.ElemBytes != 0 || rawLen < 0 || rawLen > maxChunkRaw {
 		return nil, nil, fmt.Errorf("%w: chunk raw length %d", ErrCorrupt, rawLen)
 	}
 	n := rawLen / lay.ElemBytes

@@ -5,73 +5,37 @@ import (
 	"errors"
 	"testing"
 
-	"primacy/internal/solver"
+	"primacy/internal/faultinject"
 )
 
-// faultySolver fails on demand, letting us verify the codec propagates
-// solver errors instead of emitting corrupt containers.
-type faultySolver struct {
-	name           string
-	failCompress   bool
-	failDecompress bool
-	mangle         bool
-	inner          solver.Compressor
-}
+// The injected-solver tests verify the codec propagates solver errors
+// instead of emitting corrupt containers. The fault-injecting solver itself
+// lives in internal/faultinject, shared with the other container formats.
 
-var errInjected = errors.New("injected solver fault")
-
-func (f *faultySolver) Name() string { return f.name }
-
-func (f *faultySolver) Compress(src []byte) ([]byte, error) {
-	if f.failCompress {
-		return nil, errInjected
-	}
-	out, err := f.inner.Compress(src)
-	if err != nil {
-		return nil, err
-	}
-	if f.mangle && len(out) > 8 {
-		out[len(out)/2] ^= 0xFF
-	}
-	return out, nil
-}
-
-func (f *faultySolver) Decompress(src []byte) ([]byte, error) {
-	if f.failDecompress {
-		return nil, errInjected
-	}
-	return f.inner.Decompress(src)
-}
-
-func registerFaulty(t *testing.T, f *faultySolver) {
-	t.Helper()
-	inner, err := solver.Get("zlib")
+func TestCompressSolverFailurePropagates(t *testing.T) {
+	f, err := faultinject.New("faulty-c", "zlib")
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.inner = inner
-	solver.Register(f)
-}
-
-func TestCompressSolverFailurePropagates(t *testing.T) {
-	f := &faultySolver{name: "faulty-c", failCompress: true}
-	registerFaulty(t, f)
+	f.FailCompress = true
 	raw := syntheticDoubles(1_000, 50)
-	_, err := CompressFloat64s(raw, Options{Solver: "faulty-c"})
-	if !errors.Is(err, errInjected) {
+	_, err = CompressFloat64s(raw, Options{Solver: "faulty-c"})
+	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("want injected error, got %v", err)
 	}
 }
 
 func TestDecompressSolverFailurePropagates(t *testing.T) {
-	f := &faultySolver{name: "faulty-d"}
-	registerFaulty(t, f)
+	f, err := faultinject.New("faulty-d", "zlib")
+	if err != nil {
+		t.Fatal(err)
+	}
 	raw := syntheticDoubles(1_000, 51)
 	enc, err := CompressFloat64s(raw, Options{Solver: "faulty-d"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.failDecompress = true
+	f.FailDecompress = true
 	if _, err := Decompress(enc); err == nil {
 		t.Fatal("decompression fault not propagated")
 	}
@@ -80,21 +44,22 @@ func TestDecompressSolverFailurePropagates(t *testing.T) {
 func TestMangledSolverOutputDetected(t *testing.T) {
 	// A solver that silently corrupts its output must surface as a decode
 	// error (zlib's checksum catches it), never as silently wrong floats.
-	f := &faultySolver{name: "faulty-m", mangle: true}
-	registerFaulty(t, f)
+	f, err := faultinject.New("faulty-m", "zlib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Mangle = true
 	raw := syntheticDoubles(5_000, 52)
 	enc, err := CompressFloat64s(raw, Options{Solver: "faulty-m"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.mangle = false // decode path uses the clean inner decompressor
+	f.Mangle = false // decode path uses the clean inner decompressor
 	dec, err := Decompress(enc)
 	if err == nil {
 		// If zlib happened to accept it, the data must still round-trip
 		// bit-exactly (mangle may have hit an unused byte), otherwise fail.
-		want, err2 := CompressFloat64s(raw, Options{})
-		_ = want
-		if err2 == nil && !bytes.Equal(dec, float64Bytes(raw)) {
+		if !bytes.Equal(dec, float64Bytes(raw)) {
 			t.Fatal("mangled container decoded to wrong data without error")
 		}
 	}

@@ -29,64 +29,44 @@ type ChunkReader struct {
 }
 
 // NewChunkReader parses the container framing (headers and chunk sizes
-// only; no payload is decompressed).
+// only; no payload is decompressed). Both container versions are accepted;
+// v2 header and per-chunk checksums are verified up front so later chunk
+// decodes operate on validated records.
 func NewChunkReader(data []byte) (*ChunkReader, error) {
-	if len(data) < 4+4+1+1 {
-		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
-	}
-	if string(data[:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	r := &ChunkReader{data: data}
-	pos := 4
-	r.lin = Linearization(data[pos])
-	r.mapping = IDMapping(data[pos+1])
-	pos += 4
-	prec := Precision(data[pos])
-	pos++
-	lay, err := prec.layout()
+	h, err := parseHeader(data)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, err
 	}
-	r.lay = lay
-	nameLen := int(data[pos])
-	pos++
-	if pos+nameLen+12 > len(data) {
-		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	if !h.crcOK {
+		return nil, fmt.Errorf("%w: header: %w", ErrCorrupt, ErrChecksum)
 	}
-	name := string(data[pos : pos+nameLen])
-	pos += nameLen
-	total := binary.LittleEndian.Uint64(data[pos:])
-	pos += 8 + 4
-	if total > 1<<40 {
-		return nil, fmt.Errorf("%w: absurd size %d", ErrCorrupt, total)
-	}
-	r.sv, err = solver.Get(name)
+	r := &ChunkReader{data: data, lin: h.lin, mapping: h.mapping, lay: h.lay}
+	r.sv, err = solver.Get(h.solverName)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	// Walk the chunk records.
+	pos := h.end
 	rawSeen := 0
-	for uint64(rawSeen) < total {
-		if pos+4 > len(data) {
-			return nil, fmt.Errorf("%w: truncated chunk size", ErrCorrupt)
+	for uint64(rawSeen) < h.total {
+		rec, next, err := h.frame(data, pos)
+		if err != nil {
+			return nil, err
 		}
-		clen := int(binary.LittleEndian.Uint32(data[pos:]))
-		pos += 4
-		if clen < 4 || pos+clen > len(data) {
-			return nil, fmt.Errorf("%w: truncated chunk", ErrCorrupt)
+		if len(rec) < minChunkRecLen {
+			return nil, fmt.Errorf("%w: chunk record %d bytes", ErrCorrupt, len(rec))
 		}
-		rawLen := int(binary.LittleEndian.Uint32(data[pos:]))
-		if rawLen <= 0 || rawLen%lay.ElemBytes != 0 {
+		rawLen := int(binary.LittleEndian.Uint32(rec))
+		if rawLen <= 0 || rawLen > maxChunkRaw || rawLen%h.lay.ElemBytes != 0 {
 			return nil, fmt.Errorf("%w: chunk raw length %d", ErrCorrupt, rawLen)
 		}
-		r.offsets = append(r.offsets, [2]int{pos, pos + clen})
+		r.offsets = append(r.offsets, [2]int{next - len(rec), next})
 		r.rawOffsets = append(r.rawOffsets, rawSeen)
 		rawSeen += rawLen
-		pos += clen
+		pos = next
 	}
-	if uint64(rawSeen) != total {
-		return nil, fmt.Errorf("%w: chunk sizes sum to %d, header says %d", ErrCorrupt, rawSeen, total)
+	if uint64(rawSeen) != h.total {
+		return nil, fmt.Errorf("%w: chunk sizes sum to %d, header says %d", ErrCorrupt, rawSeen, h.total)
 	}
 	r.totalRaw = rawSeen
 	return r, nil

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"primacy/internal/freq"
+	"primacy/internal/solver"
+)
+
+// DecompressSalvage decompresses as much of a damaged container as possible.
+// Chunks that fail their CRC32C (v2) or fail to decode are skipped and
+// recorded in the report, after which the decoder resyncs to the next
+// plausible chunk frame and continues. Recovered chunks are concatenated in
+// order, so a container with one corrupt chunk yields every other chunk's
+// data and a report naming the one that was lost.
+//
+// The returned error is non-nil only when nothing is recoverable — the
+// fixed header is unusable or names an unknown solver. A damaged-but-
+// partially-recovered container returns data, a non-clean report, and a nil
+// error.
+func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
+	rep := &CorruptionReport{}
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Format = string(data[:4])
+	if !h.crcOK {
+		rep.Add(0, -1, fmt.Errorf("%w: header: %w", ErrCorrupt, ErrChecksum))
+	}
+	sv, err := solver.Get(h.solverName)
+	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		rep.Add(0, -1, err)
+		return nil, rep, err
+	}
+
+	preTotal := h.total
+	if preTotal > 8<<20 {
+		preTotal = 8 << 20
+	}
+	out := make([]byte, 0, preTotal)
+	var ds DecompStats
+	var prevIndex *freq.Index
+	pos := h.end
+	chunkIdx := 0
+	for uint64(len(out)) < h.total && pos < len(data) {
+		rec, next, err := h.frame(data, pos)
+		if err == nil {
+			var chunk []byte
+			var idx *freq.Index
+			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds)
+			if err == nil {
+				prevIndex = idx
+				out = append(out, chunk...)
+				pos = next
+				chunkIdx++
+				continue
+			}
+		}
+		rep.Add(pos, chunkIdx, err)
+		chunkIdx++
+		// A lost chunk may also have carried the index later IndexReuse
+		// chunks depend on; drop it so stale mappings are not applied.
+		prevIndex = nil
+		np, ok := h.resync(data, pos+1)
+		if !ok {
+			break
+		}
+		pos = np
+	}
+	if uint64(len(out)) != h.total {
+		rep.Add(len(data), -1, fmt.Errorf("%w: recovered %d of %d bytes", ErrCorrupt, len(out), h.total))
+	}
+	return out, rep, nil
+}
+
+// Verify checks a container's integrity end to end: header and per-chunk
+// checksums for v2, plus a full trial decode of every chunk for both
+// versions. It returns a report listing every detected fault (empty when
+// the container is intact). The error is non-nil only when the input is not
+// a PRIMACY container at all.
+func Verify(data []byte) (*CorruptionReport, error) {
+	_, rep, err := DecompressSalvage(data)
+	return rep, err
+}

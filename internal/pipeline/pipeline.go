@@ -14,13 +14,25 @@ import (
 	"sync"
 
 	"primacy/internal/bytesplit"
+	"primacy/internal/checksum"
 	"primacy/internal/core"
 )
 
-const magic = "PRP1"
+// Container magics. v1 frames each shard with a bare u32 length; v2 adds a
+// CRC32C per shard (the shards themselves are core containers, so v2 shards
+// additionally carry the core format's own header and chunk checksums).
+// Compress emits v2; Decompress accepts both.
+const (
+	magicV1 = "PRP1"
+	magicV2 = "PRP2"
+)
 
 // ErrCorrupt indicates a malformed parallel container.
 var ErrCorrupt = errors.New("pipeline: corrupt stream")
+
+// ErrChecksum indicates a CRC32C mismatch on a v2 shard; it is wrapped
+// together with ErrCorrupt.
+var ErrChecksum = errors.New("checksum mismatch")
 
 // Options configures parallel compression.
 type Options struct {
@@ -97,51 +109,77 @@ func Compress(data []byte, opts Options) ([]byte, error) {
 			return nil, err
 		}
 	}
-	outLen := len(magic) + 4
+	outLen := len(magicV2) + 4
 	for _, o := range outputs {
-		outLen += 4 + len(o)
+		outLen += 8 + len(o)
 	}
 	out := make([]byte, 0, outLen)
-	out = append(out, magic...)
+	out = append(out, magicV2...)
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(outputs)))
 	out = append(out, u32[:]...)
 	for _, o := range outputs {
 		binary.LittleEndian.PutUint32(u32[:], uint32(len(o)))
 		out = append(out, u32[:]...)
+		out = checksum.Append(out, o)
 		out = append(out, o...)
 	}
 	return out, nil
 }
 
-// Decompress reverses Compress using up to opts.workers() goroutines.
-func Decompress(data []byte, opts Options) ([]byte, error) {
-	if len(data) < len(magic)+4 {
-		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+// splitShards parses the container framing and returns each shard's bytes
+// plus the offset of the shard data within the container. v2 shard checksums
+// are verified during the walk.
+func splitShards(data []byte) (shards [][]byte, offsets []int, err error) {
+	if len(data) < len(magicV1)+4 {
+		return nil, nil, fmt.Errorf("%w: short header", ErrCorrupt)
 	}
-	if string(data[:len(magic)]) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	var frameHdr int
+	switch string(data[:len(magicV1)]) {
+	case magicV1:
+		frameHdr = 4
+	case magicV2:
+		frameHdr = 8
+	default:
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	n := int(binary.LittleEndian.Uint32(data[len(magic):]))
-	if n < 0 || n > 1<<24 {
-		return nil, fmt.Errorf("%w: %d shards", ErrCorrupt, n)
+	n := int(binary.LittleEndian.Uint32(data[len(magicV1):]))
+	pos := len(magicV1) + 4
+	// Each shard needs at least its frame header, so the count field cannot
+	// claim more shards than the remaining bytes can frame — reject before
+	// allocating anything proportional to n.
+	if n < 0 || n > (len(data)-pos)/frameHdr {
+		return nil, nil, fmt.Errorf("%w: %d shards in %d bytes", ErrCorrupt, n, len(data))
 	}
-	pos := len(magic) + 4
-	shards := make([][]byte, 0, n)
+	shards = make([][]byte, 0, n)
+	offsets = make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		if pos+4 > len(data) {
-			return nil, fmt.Errorf("%w: truncated shard header", ErrCorrupt)
+		if pos+frameHdr > len(data) {
+			return nil, nil, fmt.Errorf("%w: truncated shard header", ErrCorrupt)
 		}
 		l := int(binary.LittleEndian.Uint32(data[pos:]))
-		pos += 4
-		if l < 0 || pos+l > len(data) {
-			return nil, fmt.Errorf("%w: truncated shard", ErrCorrupt)
+		if l < 0 || l > len(data)-pos-frameHdr {
+			return nil, nil, fmt.Errorf("%w: truncated shard", ErrCorrupt)
 		}
-		shards = append(shards, data[pos:pos+l])
-		pos += l
+		shard := data[pos+frameHdr : pos+frameHdr+l]
+		if frameHdr == 8 && !checksum.Check(data[pos+4:], shard) {
+			return nil, nil, fmt.Errorf("%w: shard %d: %w", ErrCorrupt, i, ErrChecksum)
+		}
+		shards = append(shards, shard)
+		offsets = append(offsets, pos+frameHdr)
+		pos += frameHdr + l
 	}
 	if pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
+	}
+	return shards, offsets, nil
+}
+
+// Decompress reverses Compress using up to opts.workers() goroutines.
+func Decompress(data []byte, opts Options) ([]byte, error) {
+	shards, _, err := splitShards(data)
+	if err != nil {
+		return nil, err
 	}
 	outputs := make([][]byte, len(shards))
 	errs := make([]error, len(shards))
@@ -169,4 +207,148 @@ func Decompress(data []byte, opts Options) ([]byte, error) {
 		out = append(out, o...)
 	}
 	return out, nil
+}
+
+// DecompressSalvage decompresses as much of a damaged parallel container as
+// possible: shards that fail their checksum or decode are recovered through
+// core.DecompressSalvage (so only the corrupt chunks inside them are lost),
+// and every fault is recorded in the report with its absolute offset. The
+// error is non-nil only when the input is not a parallel container at all.
+func DecompressSalvage(data []byte, opts Options) ([]byte, *core.CorruptionReport, error) {
+	rep := &core.CorruptionReport{}
+	if len(data) >= 4 {
+		rep.Format = string(data[:4])
+	}
+	shards, offsets, err := splitShards(data)
+	if err != nil {
+		// The strict walk stops at the first framing fault; re-walk leniently,
+		// recovering intact frames and isolating the damaged regions.
+		shards, offsets = splitShardsLenient(data)
+		if shards == nil {
+			rep.Add(0, -1, err)
+			return nil, rep, err
+		}
+		rep.Add(0, -1, err)
+	}
+	var out []byte
+	for i, shard := range shards {
+		dec, derr := core.Decompress(shard)
+		if derr == nil {
+			out = append(out, dec...)
+			continue
+		}
+		sal, subRep, serr := core.DecompressSalvage(shard)
+		if serr != nil {
+			rep.Add(offsets[i], i, derr)
+			continue
+		}
+		rep.Merge(offsets[i], subRep)
+		out = append(out, sal...)
+	}
+	return out, rep, nil
+}
+
+// splitShardsLenient recovers shard regions from a container whose strict
+// walk failed. Intact frames are taken as-is; a frame whose CRC fails but
+// whose embedded core container still frames cleanly is trusted anyway
+// (corrupt length or CRC field, intact payload); anything else becomes one
+// damaged region ending at the next recognizable frame, so the caller's
+// per-shard salvage can still recover its intact chunks. It returns nil only
+// when the container header is unusable.
+func splitShardsLenient(data []byte) (shards [][]byte, offsets []int) {
+	if len(data) < len(magicV1)+4 {
+		return nil, nil
+	}
+	var frameHdr int
+	switch string(data[:len(magicV1)]) {
+	case magicV1:
+		frameHdr = 4
+	case magicV2:
+		frameHdr = 8
+	default:
+		return nil, nil
+	}
+	pos := len(magicV1) + 4
+	for pos < len(data) {
+		if pos+frameHdr <= len(data) {
+			l := int(binary.LittleEndian.Uint32(data[pos:]))
+			if l >= 0 && l <= len(data)-pos-frameHdr {
+				shard := data[pos+frameHdr : pos+frameHdr+l]
+				if frameHdr == 4 || checksum.Check(data[pos+4:], shard) {
+					shards = append(shards, shard)
+					offsets = append(offsets, pos+frameHdr)
+					pos += frameHdr + l
+					continue
+				}
+			}
+		}
+		start := min(pos+frameHdr, len(data))
+		if encLen, _, _, err := core.Frame(data[start:]); err == nil {
+			shards = append(shards, data[start:start+encLen])
+			offsets = append(offsets, start)
+			pos = start + encLen
+			continue
+		}
+		next := nextLenientFrame(data, start+1, frameHdr)
+		shards = append(shards, data[start:next])
+		offsets = append(offsets, start)
+		pos = next
+	}
+	return shards, offsets
+}
+
+// nextLenientFrame scans for the next offset holding a trustworthy shard
+// frame. Every shard is a core container, so the frame's payload must start
+// with a container magic — without that filter the scan would lock onto a
+// chunk frame inside a damaged shard, since core chunks use the same
+// u32 length + u32 CRC framing. For v2 the frame CRC must verify too (or the
+// embedded container must frame cleanly, when only the CRC field was hit).
+// Returns len(data) when no frame remains.
+func nextLenientFrame(data []byte, from, frameHdr int) int {
+	for pos := from; pos+frameHdr < len(data); pos++ {
+		l := int(binary.LittleEndian.Uint32(data[pos:]))
+		if l < 4 || l > len(data)-pos-frameHdr {
+			continue
+		}
+		shard := data[pos+frameHdr : pos+frameHdr+l]
+		switch string(shard[:4]) {
+		case "PRM1", "PRM2":
+		default:
+			continue
+		}
+		if frameHdr == 4 || checksum.Check(data[pos+4:], shard) {
+			return pos
+		}
+		if encLen, _, _, err := core.Frame(shard); err == nil && encLen == l {
+			return pos
+		}
+	}
+	return len(data)
+}
+
+// Verify checks the container's integrity: outer framing, per-shard CRC32C
+// (v2), and a full verify of every embedded core container. The report
+// lists every detected fault; the error is non-nil only when the input is
+// not a parallel container at all.
+func Verify(data []byte) (*core.CorruptionReport, error) {
+	rep := &core.CorruptionReport{}
+	if len(data) >= 4 {
+		rep.Format = string(data[:4])
+	}
+	shards, offsets, err := splitShards(data)
+	if err != nil {
+		rep.Add(0, -1, err)
+		if shards, offsets = splitShardsLenient(data); shards == nil {
+			return rep, err
+		}
+	}
+	for i, shard := range shards {
+		subRep, serr := core.Verify(shard)
+		if serr != nil {
+			rep.Add(offsets[i], i, serr)
+			continue
+		}
+		rep.Merge(offsets[i], subRep)
+	}
+	return rep, nil
 }

@@ -73,8 +73,8 @@ func TestShardingMatchesSequentialCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// First shard lives at offset 8 (magic+count) + 4 (len).
-	got := enc[12 : 12+len(want)]
+	// First shard lives at offset 8 (magic+count) + 8 (len+crc).
+	got := enc[16 : 16+len(want)]
 	if !bytes.Equal(got, want) {
 		t.Fatal("first shard differs from sequential core output")
 	}

@@ -5,26 +5,42 @@
 // decoding as soon as the first chunk arrives and a truncated stream fails
 // cleanly at a segment boundary.
 //
-// Stream layout:
+// Stream layout (v2, written by Writer):
+//
+//	"PRS2" | segment* | 0u32
+//	segment = u32 length | u32 crc32c | core container (one chunk group)
+//
+// v1 streams ("PRS1", no per-segment CRC) are still read:
 //
 //	"PRS1" | segment* | 0u32
-//	segment = u32 length | core container (one chunk group)
+//	segment = u32 length | core container
 package stream
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 
 	"primacy/internal/bytesplit"
+	"primacy/internal/checksum"
 	"primacy/internal/core"
 )
 
-const magic = "PRS1"
+// Stream magics: v1 is the original checksum-less layout, v2 adds a CRC32C
+// per segment. Writers emit v2; Reader accepts both.
+const (
+	magicV1 = "PRS1"
+	magicV2 = "PRS2"
+)
 
 // ErrCorrupt indicates a malformed stream.
 var ErrCorrupt = errors.New("stream: corrupt stream")
+
+// ErrChecksum indicates a CRC32C mismatch on a v2 segment; it is wrapped
+// together with ErrCorrupt.
+var ErrChecksum = errors.New("checksum mismatch")
 
 // Writer compresses data written to it and forwards segments to the
 // underlying writer. Not safe for concurrent use.
@@ -84,7 +100,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 
 func (w *Writer) emit(chunk []byte) error {
 	if !w.wroteMagic {
-		if _, err := w.dst.Write([]byte(magic)); err != nil {
+		if _, err := w.dst.Write([]byte(magicV2)); err != nil {
 			return err
 		}
 		w.wroteMagic = true
@@ -94,8 +110,9 @@ func (w *Writer) emit(chunk []byte) error {
 		return err
 	}
 	w.accumulate(st)
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(enc)))
+	binary.LittleEndian.PutUint32(hdr[4:], checksum.Sum(enc))
 	if _, err := w.dst.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -137,7 +154,7 @@ func (w *Writer) Close() error {
 		w.buf = nil
 	}
 	if !w.wroteMagic {
-		if _, err := w.dst.Write([]byte(magic)); err != nil {
+		if _, err := w.dst.Write([]byte(magicV2)); err != nil {
 			return err
 		}
 		w.wroteMagic = true
@@ -153,20 +170,45 @@ func (w *Writer) Close() error {
 // Stats reports accumulated compression statistics (valid any time).
 func (w *Writer) Stats() core.Stats { return w.stats }
 
-// Reader decompresses a stream produced by Writer. Not safe for concurrent
-// use.
+// Reader decompresses a stream produced by Writer (either format version).
+// Not safe for concurrent use.
 type Reader struct {
 	src     io.Reader
 	pending []byte
 	started bool
+	version int
 	done    bool
 	err     error
+
+	// salvage mode: the remaining input is buffered so the reader can
+	// resync to the next segment after damage instead of failing.
+	salvage bool
+	buf     []byte // buffered stream (salvage mode only)
+	pos     int    // read cursor into buf
+	segIdx  int
+	report  *core.CorruptionReport
 }
 
 // NewReader returns a streaming decompressor over src.
 func NewReader(src io.Reader) *Reader {
 	return &Reader{src: src}
 }
+
+// NewSalvageReader returns a decompressor that recovers as much of a
+// damaged stream as possible: segments that fail their checksum or decode
+// are skipped, the reader resyncs to the next segment (scanning for the
+// embedded core-container magic when framing is lost), and every fault is
+// recorded in Report. Reads return io.EOF at the end of recovery rather
+// than surfacing corruption errors; callers inspect Report for what was
+// lost. Salvage buffers the stream in memory, so it is meant for recovery
+// jobs, not steady-state decoding.
+func NewSalvageReader(src io.Reader) *Reader {
+	return &Reader{src: src, salvage: true, report: &core.CorruptionReport{}}
+}
+
+// Report returns the corruption report accumulated by a salvage reader
+// (nil for ordinary readers). It is complete once Read has returned io.EOF.
+func (r *Reader) Report() *core.CorruptionReport { return r.report }
 
 // Read implements io.Reader, decoding segment by segment.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -178,7 +220,11 @@ func (r *Reader) Read(p []byte) (int, error) {
 			r.err = io.EOF
 			return 0, io.EOF
 		}
-		if err := r.fill(); err != nil {
+		fill := r.fill
+		if r.salvage {
+			fill = r.fillSalvage
+		}
+		if err := fill(); err != nil {
 			r.err = err
 			return 0, err
 		}
@@ -188,28 +234,56 @@ func (r *Reader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// readMagic consumes and validates the stream magic, setting the version.
+func (r *Reader) readMagic(m []byte) error {
+	switch string(m) {
+	case magicV1:
+		r.version = 1
+	case magicV2:
+		r.version = 2
+	default:
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	r.started = true
+	return nil
+}
+
+// segHdrLen is the per-segment framing overhead for the stream's version.
+func (r *Reader) segHdrLen() int {
+	if r.version >= 2 {
+		return 8
+	}
+	return 4
+}
+
 func (r *Reader) fill() error {
 	if !r.started {
 		var m [4]byte
 		if _, err := io.ReadFull(r.src, m[:]); err != nil {
 			return fmt.Errorf("%w: missing magic: %v", ErrCorrupt, err)
 		}
-		if string(m[:]) != magic {
-			return fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+		if err := r.readMagic(m[:]); err != nil {
+			return err
 		}
-		r.started = true
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(r.src, hdr[:]); err != nil {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.src, hdr[:4]); err != nil {
 		return fmt.Errorf("%w: truncated segment header: %v", ErrCorrupt, err)
 	}
-	segLen := binary.LittleEndian.Uint32(hdr[:])
+	segLen := binary.LittleEndian.Uint32(hdr[:4])
 	if segLen == 0 {
 		r.done = true
 		return nil
 	}
 	if segLen > 1<<31 {
 		return fmt.Errorf("%w: absurd segment %d", ErrCorrupt, segLen)
+	}
+	var wantCRC uint32
+	if r.version >= 2 {
+		if _, err := io.ReadFull(r.src, hdr[4:]); err != nil {
+			return fmt.Errorf("%w: truncated segment header: %v", ErrCorrupt, err)
+		}
+		wantCRC = binary.LittleEndian.Uint32(hdr[4:])
 	}
 	// Read incrementally: segLen is attacker-controlled, so allocation must
 	// track bytes actually present in the source.
@@ -220,10 +294,151 @@ func (r *Reader) fill() error {
 	if uint32(len(seg)) != segLen {
 		return fmt.Errorf("%w: truncated segment: %d of %d bytes", ErrCorrupt, len(seg), segLen)
 	}
+	if r.version >= 2 && checksum.Sum(seg) != wantCRC {
+		return fmt.Errorf("%w: segment: %w", ErrCorrupt, ErrChecksum)
+	}
 	chunk, err := core.Decompress(seg)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	r.pending = chunk
 	return nil
+}
+
+// fillSalvage is the salvage-mode segment loop: it works over the buffered
+// stream, skips damaged segments, and resyncs by scanning for the next
+// embedded core-container magic.
+func (r *Reader) fillSalvage() error {
+	if !r.started {
+		var err error
+		r.buf, err = io.ReadAll(r.src)
+		if err != nil {
+			return fmt.Errorf("%w: stream read: %v", ErrCorrupt, err)
+		}
+		if len(r.buf) < 4 || r.readMagic(r.buf[:4]) != nil {
+			r.report.Add(0, -1, fmt.Errorf("%w: bad magic", ErrCorrupt))
+			// No usable stream magic: guess v2 framing and go straight to
+			// resync-by-container-magic below.
+			r.version = 2
+			r.started = true
+			r.pos = 0
+			return r.resync(r.pos)
+		}
+		if r.report.Format == "" {
+			r.report.Format = string(r.buf[:4])
+		}
+		r.pos = 4
+	}
+	hdrLen := r.segHdrLen()
+	for {
+		if r.pos >= len(r.buf) {
+			// Stream ended without a terminator.
+			r.report.Add(len(r.buf), -1, fmt.Errorf("%w: missing end marker", ErrCorrupt))
+			r.done = true
+			return nil
+		}
+		if r.pos+4 <= len(r.buf) && binary.LittleEndian.Uint32(r.buf[r.pos:]) == 0 {
+			if r.pos+4 < len(r.buf) {
+				// A legitimate end marker is the last thing in the stream. A
+				// zero length followed by more data is either a zeroed-out
+				// segment header or a mid-stream marker — damage either way,
+				// so resync instead of stopping early.
+				r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: zero segment length before end of stream", ErrCorrupt))
+				return r.resync(r.pos + 4)
+			}
+			r.done = true
+			return nil
+		}
+		if r.pos+hdrLen > len(r.buf) {
+			r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: truncated segment header", ErrCorrupt))
+			r.done = true
+			return nil
+		}
+		segLen := int(binary.LittleEndian.Uint32(r.buf[r.pos:]))
+		start := r.pos + hdrLen
+		if segLen < 0 || segLen > len(r.buf)-start {
+			r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: truncated segment: %d bytes claimed, %d remain",
+				ErrCorrupt, segLen, len(r.buf)-start))
+			r.segIdx++
+			return r.resync(r.pos + 1)
+		}
+		seg := r.buf[start : start+segLen]
+		if r.version >= 2 && !checksum.Check(r.buf[r.pos+4:], seg) {
+			r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: segment: %w", ErrCorrupt, ErrChecksum))
+			r.segIdx++
+			return r.resync(start + segLen)
+		}
+		chunk, err := core.Decompress(seg)
+		if err != nil {
+			// Framing was intact but the payload is damaged; salvage what
+			// the container still holds before moving on.
+			sal, subRep, serr := core.DecompressSalvage(seg)
+			if serr != nil {
+				r.report.Add(r.pos, r.segIdx, err)
+			} else {
+				r.report.Merge(start, subRep)
+				chunk = sal
+			}
+			r.pos = start + segLen
+			r.segIdx++
+			if len(chunk) > 0 {
+				r.pending = chunk
+				return nil
+			}
+			continue
+		}
+		r.pos = start + segLen
+		r.segIdx++
+		r.pending = chunk
+		return nil
+	}
+}
+
+// resync scans the buffered stream from `from` for the next segment whose
+// payload starts with a core-container magic, decodes it, and leaves the
+// cursor after it. Damage that destroys a segment's length field loses only
+// that segment.
+func (r *Reader) resync(from int) error {
+	for {
+		c := nextContainerMagic(r.buf, from)
+		if c < 0 {
+			r.done = true
+			return nil
+		}
+		encLen, _, _, err := core.Frame(r.buf[c:])
+		if err != nil {
+			from = c + 1
+			continue
+		}
+		chunk, err := core.Decompress(r.buf[c : c+encLen])
+		if err != nil {
+			from = c + 1
+			continue
+		}
+		r.pos = c + encLen
+		r.segIdx++
+		r.pending = chunk
+		return nil
+	}
+}
+
+// nextContainerMagic returns the lowest offset ≥ from where an embedded
+// core-container magic starts, or -1.
+func nextContainerMagic(buf []byte, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	best := -1
+	if from > len(buf) {
+		from = len(buf)
+	}
+	for _, m := range []string{"PRM2", "PRM1"} {
+		if i := bytes.Index(buf[from:], []byte(m)); i >= 0 {
+			cand := from + i
+			if best < 0 || cand < best {
+				best = cand
+			}
+		}
+	}
+	return best
 }

@@ -20,6 +20,8 @@
 package primacy
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 
 	"primacy/internal/archive"
@@ -92,6 +94,46 @@ func DecompressFloat64s(data []byte) ([]float64, error) {
 	return core.DecompressFloat64s(data)
 }
 
+// Corruption locates one fault detected during a verify or salvage pass.
+type Corruption = core.Corruption
+
+// CorruptionReport aggregates the faults found by a verify or salvage pass
+// over one container, stream, or archive.
+type CorruptionReport = core.CorruptionReport
+
+// DecompressSalvage decompresses as much of a damaged container as
+// possible, skipping corrupt chunks and reporting what was lost. See
+// core.DecompressSalvage.
+func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
+	return core.DecompressSalvage(data)
+}
+
+// Verify checks the integrity of any PRIMACY artifact — core container,
+// parallel container, stream, or archive, either format version — without
+// producing output. The report lists every detected fault; the error is
+// non-nil only when the input is not a recognizable PRIMACY artifact.
+func Verify(data []byte) (*CorruptionReport, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("primacy: %d-byte input is not a PRIMACY artifact", len(data))
+	}
+	switch string(data[:4]) {
+	case "PRM1", "PRM2":
+		return core.Verify(data)
+	case "PRP1", "PRP2":
+		return pipeline.Verify(data)
+	case "PRS1", "PRS2":
+		r := stream.NewSalvageReader(bytes.NewReader(data))
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			return r.Report(), err
+		}
+		return r.Report(), nil
+	case "PAR1", "PAR2":
+		return archive.Verify(bytes.NewReader(data), int64(len(data)))
+	default:
+		return nil, fmt.Errorf("primacy: unrecognized magic %q", data[:4])
+	}
+}
+
 // ParallelOptions configures the multi-core in-situ pipeline.
 type ParallelOptions = pipeline.Options
 
@@ -104,6 +146,12 @@ func ParallelCompress(data []byte, opts ParallelOptions) ([]byte, error) {
 // ParallelDecompress reverses ParallelCompress.
 func ParallelDecompress(data []byte, opts ParallelOptions) ([]byte, error) {
 	return pipeline.Decompress(data, opts)
+}
+
+// ParallelDecompressSalvage recovers as much of a damaged parallel
+// container as possible, reporting what was lost.
+func ParallelDecompressSalvage(data []byte, opts ParallelOptions) ([]byte, *CorruptionReport, error) {
+	return pipeline.DecompressSalvage(data, opts)
 }
 
 // StreamWriter compresses data written to it incrementally, emitting
@@ -121,6 +169,13 @@ func NewStreamWriter(dst io.Writer, opts Options) (*StreamWriter, error) {
 // NewStreamReader returns a streaming decompressor over src.
 func NewStreamReader(src io.Reader) *StreamReader {
 	return stream.NewReader(src)
+}
+
+// NewSalvageStreamReader returns a stream decompressor that skips damaged
+// segments, resyncing to the next one; inspect its Report method after EOF
+// for what was lost.
+func NewSalvageStreamReader(src io.Reader) *StreamReader {
+	return stream.NewSalvageReader(src)
 }
 
 // CompressFloat32s compresses single-precision values.
@@ -157,6 +212,13 @@ func NewArchiveWriter(dst io.Writer, opts Options) (*ArchiveWriter, error) {
 // NewArchiveReader parses an archive's table of contents for random access.
 func NewArchiveReader(src io.ReaderAt, size int64) (*ArchiveReader, error) {
 	return archive.NewReader(src, size)
+}
+
+// OpenArchiveSalvage opens a damaged archive best-effort, dropping entries
+// that fail integrity checks and rebuilding a lost table of contents by
+// scanning for entry magics.
+func OpenArchiveSalvage(src io.ReaderAt, size int64) (*ArchiveReader, *CorruptionReport, error) {
+	return archive.OpenSalvage(src, size)
 }
 
 // ChunkReader provides random access to individual chunks of a compressed
