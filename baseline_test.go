@@ -1,0 +1,38 @@
+package primacy
+
+import (
+	"os"
+	"testing"
+
+	"primacy/internal/experiments"
+)
+
+// The committed throughput baseline must stay parseable and internally
+// consistent: every (solver, dataset) cell of the benchperf grid present,
+// every ratio and throughput finite and positive. Regenerate with
+// `go run ./cmd/benchperf -o BENCH_throughput.json` after perf-relevant
+// changes.
+func TestCommittedBaselineValid(t *testing.T) {
+	data, err := os.ReadFile("BENCH_throughput.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	base, err := experiments.LoadBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Check(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range base.Entries {
+		seen[e.Solver+"/"+e.Dataset] = true
+	}
+	for _, sv := range experiments.PerfSolvers {
+		for _, ds := range experiments.PerfDatasets {
+			if !seen[sv+"/"+ds] {
+				t.Errorf("baseline missing cell %s/%s", sv, ds)
+			}
+		}
+	}
+}

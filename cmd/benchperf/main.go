@@ -1,0 +1,56 @@
+// Command benchperf measures end-to-end codec throughput (the paper's
+// CTP/DTP) and steady-state allocation counts per solver on the three
+// representative datasets, and writes the machine-readable baseline that is
+// committed as BENCH_throughput.json.
+//
+// Usage:
+//
+//	benchperf                         # print baseline to stdout
+//	benchperf -o BENCH_throughput.json
+//	benchperf -n 262144 -mintime 500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"primacy/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchperf: ")
+	n := flag.Int("n", 0, "elements per dataset (0 = default)")
+	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum wall time per measurement")
+	out := flag.String("o", "", "write baseline JSON to this file (stdout when empty)")
+	flag.Parse()
+
+	base, err := experiments.ThroughputBaseline(experiments.PerfConfig{
+		N:       *n,
+		MinTime: *minTime,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := base.Check(); err != nil {
+		log.Fatal(err)
+	}
+	data, err := base.MarshalIndent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range base.Entries {
+		fmt.Printf("%-6s %-12s ratio %5.2f  CTP %7.2f MB/s  DTP %7.2f MB/s  allocs %.0f/%.0f\n",
+			e.Solver, e.Dataset, e.Ratio, e.CTPMBps, e.DTPMBps, e.CompressAllocs, e.DecompressAllocs)
+	}
+}

@@ -92,6 +92,13 @@ func Merge(hi, lo []byte) ([]byte, error) {
 // (all of column 0, then column 1, ...) — the paper's "byte-level data
 // linearization" that lines up runs of equal bytes for the solver's RLE.
 func Columnize(data []byte, width int) ([]byte, error) {
+	return AppendColumnize(nil, data, width)
+}
+
+// AppendColumnize appends the column-major form of data to dst and returns
+// the extended slice. dst must not alias data. With dst pre-sized the steady
+// state allocates nothing.
+func AppendColumnize(dst, data []byte, width int) ([]byte, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("bytesplit: non-positive width %d", width)
 	}
@@ -99,9 +106,10 @@ func Columnize(data []byte, width int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d not divisible by width %d", ErrBadLength, len(data), width)
 	}
 	n := len(data) / width
-	out := make([]byte, len(data))
+	base := len(dst)
+	out := grow(dst, len(data))
 	for c := 0; c < width; c++ {
-		col := out[c*n : (c+1)*n]
+		col := out[base+c*n : base+(c+1)*n]
 		for r := 0; r < n; r++ {
 			col[r] = data[r*width+c]
 		}
@@ -111,6 +119,12 @@ func Columnize(data []byte, width int) ([]byte, error) {
 
 // Decolumnize inverts Columnize.
 func Decolumnize(data []byte, width int) ([]byte, error) {
+	return AppendDecolumnize(nil, data, width)
+}
+
+// AppendDecolumnize appends the row-major form of column-major data to dst
+// and returns the extended slice. dst must not alias data.
+func AppendDecolumnize(dst, data []byte, width int) ([]byte, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("bytesplit: non-positive width %d", width)
 	}
@@ -118,14 +132,29 @@ func Decolumnize(data []byte, width int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d not divisible by width %d", ErrBadLength, len(data), width)
 	}
 	n := len(data) / width
-	out := make([]byte, len(data))
+	base := len(dst)
+	out := grow(dst, len(data))
+	// Zero-based view keeps the scatter loop at non-append speed.
+	seg := out[base : base+len(data)]
 	for c := 0; c < width; c++ {
 		col := data[c*n : (c+1)*n]
 		for r := 0; r < n; r++ {
-			out[r*width+c] = col[r]
+			seg[r*width+c] = col[r]
 		}
 	}
 	return out, nil
+}
+
+// grow extends dst by n bytes (reallocating only when capacity runs out) and
+// returns the extended slice; the new bytes are uninitialized scratch the
+// caller fully overwrites.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n)
+	copy(out, dst)
+	return out
 }
 
 // Column extracts a single column from an N×width row-major matrix.

@@ -37,6 +37,13 @@ func (l Layout) LoBytes() int { return l.ElemBytes - l.HiBytes }
 
 // Split separates an N×ElemBytes row-major matrix into hi and lo parts.
 func (l Layout) Split(data []byte) (hi, lo []byte, err error) {
+	return l.AppendSplit(nil, nil, data)
+}
+
+// AppendSplit appends the hi and lo parts of data to hiDst and loDst and
+// returns the extended slices. Neither destination may alias data. With both
+// pre-sized the steady state allocates nothing.
+func (l Layout) AppendSplit(hiDst, loDst, data []byte) (hi, lo []byte, err error) {
 	if !l.Valid() {
 		return nil, nil, fmt.Errorf("bytesplit: invalid layout %+v", l)
 	}
@@ -44,20 +51,30 @@ func (l Layout) Split(data []byte) (hi, lo []byte, err error) {
 		return nil, nil, fmt.Errorf("%w: %d", ErrBadLength, len(data))
 	}
 	n := len(data) / l.ElemBytes
-	hi = make([]byte, n*l.HiBytes)
-	lo = make([]byte, n*l.LoBytes())
 	lb := l.LoBytes()
+	hiBase, loBase := len(hiDst), len(loDst)
+	hi = grow(hiDst, n*l.HiBytes)
+	lo = grow(loDst, n*lb)
+	// Zero-based views keep the split loop at non-append speed.
+	hiSeg := hi[hiBase:]
+	loSeg := lo[loBase:]
 	for i := 0; i < n; i++ {
 		row := data[i*l.ElemBytes:]
-		hi[i*2] = row[0]
-		hi[i*2+1] = row[1]
-		copy(lo[i*lb:(i+1)*lb], row[2:l.ElemBytes])
+		hiSeg[i*2] = row[0]
+		hiSeg[i*2+1] = row[1]
+		copy(loSeg[i*lb:(i+1)*lb], row[2:l.ElemBytes])
 	}
 	return hi, lo, nil
 }
 
 // Merge reassembles the original matrix from hi and lo parts.
 func (l Layout) Merge(hi, lo []byte) ([]byte, error) {
+	return l.AppendMerge(nil, hi, lo)
+}
+
+// AppendMerge appends the reassembled matrix to dst and returns the extended
+// slice. dst must not alias hi or lo.
+func (l Layout) AppendMerge(dst, hi, lo []byte) ([]byte, error) {
 	if !l.Valid() {
 		return nil, fmt.Errorf("bytesplit: invalid layout %+v", l)
 	}
@@ -72,9 +89,11 @@ func (l Layout) Merge(hi, lo []byte) ([]byte, error) {
 	if len(lo)/lb != n {
 		return nil, fmt.Errorf("bytesplit: element count mismatch: hi %d lo %d", n, len(lo)/lb)
 	}
-	out := make([]byte, n*l.ElemBytes)
+	base := len(dst)
+	out := grow(dst, n*l.ElemBytes)
+	seg := out[base:]
 	for i := 0; i < n; i++ {
-		row := out[i*l.ElemBytes:]
+		row := seg[i*l.ElemBytes:]
 		row[0] = hi[i*2]
 		row[1] = hi[i*2+1]
 		copy(row[2:l.ElemBytes], lo[i*lb:(i+1)*lb])

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"primacy/internal/bytesplit"
+)
+
+// A reused Codec must produce byte-identical containers to the package-level
+// functions for every solver and option combination: the scratch-buffer
+// reuse is a pure optimization with no wire-format footprint.
+func TestCodecMatchesPackageOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	noise := make([]byte, 16384)
+	rng.Read(noise)
+	datasets := [][]byte{
+		bytesplit.Float64sToBytes(syntheticDoubles(2000, 7)),
+		bytesplit.Float64sToBytes(syntheticDoubles(500, 8)),
+		noise, // incompressible: exercises the ISOBAR no-waste fallback
+		nil,
+	}
+	optsList := []Options{
+		{},
+		{Solver: "lzo"},
+		{Solver: "bzlib", ChunkBytes: 4096},
+		{Solver: "none"},
+		{DisableISOBAR: true},
+		{Mapping: MapIdentity},
+		{IndexMode: IndexReuse, ChunkBytes: 2048},
+	}
+	var codec Codec
+	for oi, opts := range optsList {
+		for di, data := range datasets {
+			want, err := Compress(data, opts)
+			if err != nil {
+				t.Fatalf("opts[%d] data[%d]: package Compress: %v", oi, di, err)
+			}
+			got, err := codec.Compress(data, opts)
+			if err != nil {
+				t.Fatalf("opts[%d] data[%d]: codec Compress: %v", oi, di, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("opts[%d] data[%d]: codec output differs from package output", oi, di)
+			}
+			dec, err := codec.Decompress(want)
+			if err != nil || !bytes.Equal(dec, data) {
+				t.Fatalf("opts[%d] data[%d]: codec Decompress: %v", oi, di, err)
+			}
+		}
+	}
+}
+
+// The no-waste fallback caches the solver's compression of the empty slice
+// (its output is on the wire when ISOBAR routes everything to passthrough).
+// The cache is keyed by solver, so alternating solvers through one codec
+// must keep every container byte-identical to a fresh compression.
+func TestCodecEmptyCompressCachePerSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	noise := make([]byte, 8192)
+	rng.Read(noise)
+	var codec Codec
+	for round := 0; round < 3; round++ {
+		for _, solver := range []string{"zlib", "lzo", "none"} {
+			opts := Options{Solver: solver, ChunkBytes: 2048}
+			want, err := Compress(noise, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := codec.Compress(noise, opts)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, solver, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d %s: stale empty-compress cache leaked across solvers", round, solver)
+			}
+		}
+	}
+}

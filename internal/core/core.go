@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"primacy/internal/bytesplit"
@@ -77,6 +78,11 @@ func (p Precision) layout() (bytesplit.Layout, error) {
 		return bytesplit.Layout{}, fmt.Errorf("core: unknown precision %d", p)
 	}
 }
+
+// Layout returns the byte-split geometry for the precision — the element
+// width containers like pipeline and stream must use for input validation
+// and shard/chunk rounding instead of assuming float64.
+func (p Precision) Layout() (bytesplit.Layout, error) { return p.layout() }
 
 // Options configures the codec.
 type Options struct {
@@ -171,11 +177,77 @@ var (
 	ErrBadInput = errors.New("core: input not a multiple of 8 bytes")
 )
 
+// Codec carries reusable scratch buffers across Compress/Decompress calls so
+// the per-chunk hot path (byte split, ID encode, linearization, ISOBAR
+// partitioning, and the solvers' pooled writer/reader state) is
+// allocation-free in steady state. The zero value is ready to use. A Codec
+// is not safe for concurrent use; give each worker goroutine its own (see
+// internal/pipeline).
+type Codec struct{ sc scratch }
+
+// scratch holds the per-chunk working buffers. Each field has one role per
+// direction so no stage ever reads a buffer another stage of the same chunk
+// is writing; buffers are recycled via [:0] between chunks.
+type scratch struct {
+	hi     []byte // split output (compress) / ID-decode output (decompress)
+	lo     []byte // split output (compress) / unpartition output (decompress)
+	ids    []byte // ID-encode output (compress) / solver ID output (decompress)
+	col    []byte // columnize output (compress) / decolumnize output (decompress)
+	comp   []byte // partition output (compress) / solver mantissa output (decompress)
+	incomp []byte // partition output (compress)
+	idsCmp []byte // solver output for the ID matrix (compress)
+	cmpOut []byte // solver output for the mantissa part (compress)
+	enc    []byte // assembled chunk record (compress)
+	chunk  []byte // merge output (decompress)
+
+	// empty caches the solver's compressed representation of zero input for
+	// the ISOBAR no-waste fallback, so clearing the mask never re-runs the
+	// solver (the old double-compress). Keyed by the compressor value.
+	empty    []byte
+	emptyFor solver.Compressor
+}
+
+// compressedEmpty returns sv's compressed form of empty input, computing it
+// once per solver and caching it in the scratch.
+func (s *scratch) compressedEmpty(sv solver.Compressor) ([]byte, error) {
+	if s.emptyFor != sv {
+		out, err := solver.CompressTo(sv, s.empty[:0], nil)
+		if err != nil {
+			return nil, err
+		}
+		s.empty = out
+		s.emptyFor = sv
+	}
+	return s.empty, nil
+}
+
+// capSlice returns b truncated to zero length with at least n bytes of
+// capacity, reallocating only when the existing capacity is too small.
+func capSlice(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:0]
+	}
+	return make([]byte, 0, n)
+}
+
 // Compress compresses a byte stream of big-endian-serializable float64 data
 // (any []byte whose length is a multiple of 8 works; the pipeline is
 // lossless regardless of content).
 func Compress(data []byte, opts Options) ([]byte, error) {
-	out, _, err := CompressWithStats(data, opts)
+	var c Codec
+	return c.Compress(data, opts)
+}
+
+// Compress is the Codec variant of the package-level Compress; output is
+// byte-identical, but scratch persists across calls.
+func (c *Codec) Compress(data []byte, opts Options) ([]byte, error) {
+	out, _, err := c.CompressWithStats(data, opts)
+	return out, err
+}
+
+// Decompress is the Codec variant of the package-level Decompress.
+func (c *Codec) Decompress(data []byte) ([]byte, error) {
+	out, _, err := c.DecompressWithStats(data)
 	return out, err
 }
 
@@ -202,6 +274,13 @@ func DecompressFloat32s(data []byte) ([]float32, error) {
 
 // CompressWithStats compresses and reports the model parameters.
 func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
+	var c Codec
+	return c.CompressWithStats(data, opts)
+}
+
+// CompressWithStats is the Codec variant of the package-level
+// CompressWithStats.
+func (c *Codec) CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
 	var stats Stats
 	lay, err := opts.Precision.layout()
 	if err != nil {
@@ -247,7 +326,7 @@ func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
 		alpha2Sum float64
 	)
 	for _, chunk := range chunks {
-		enc, ci, err := compressChunk(chunk, sv, opts, lay, prevIndex)
+		enc, ci, err := compressChunk(chunk, sv, opts, lay, prevIndex, &c.sc)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -304,13 +383,16 @@ type chunkInfo struct {
 	solverInput int
 }
 
-func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index) ([]byte, chunkInfo, error) {
+// compressChunk encodes one chunk into a record that aliases sc.enc; the
+// caller must copy it out before the next call reusing the same scratch.
+func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch) ([]byte, chunkInfo, error) {
 	var ci chunkInfo
 	precStart := time.Now()
-	hi, lo, err := lay.Split(chunk)
+	hi, lo, err := lay.AppendSplit(sc.hi[:0], sc.lo[:0], chunk)
 	if err != nil {
 		return nil, ci, err
 	}
+	sc.hi, sc.lo = hi, lo
 	ci.hiRaw = len(hi)
 
 	// High-order path: ID mapping + linearization + solver.
@@ -346,27 +428,30 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 			}
 		}
 		if idx != nil {
-			ids, err = idx.Encode(hi)
+			ids, err = idx.AppendEncode(sc.ids[:0], hi)
 			if err != nil {
 				return nil, ci, err
 			}
+			sc.ids = ids
 		}
 		ci.index = idx
 	default:
 		return nil, ci, fmt.Errorf("core: unknown mapping %d", opts.Mapping)
 	}
 	if opts.Linearization == LinearizeColumns && len(ids) > 0 {
-		ids, err = bytesplit.Columnize(ids, lay.HiBytes)
+		ids, err = bytesplit.AppendColumnize(sc.col[:0], ids, lay.HiBytes)
 		if err != nil {
 			return nil, ci, err
 		}
+		sc.col = ids
 	}
 	ci.precSecs += time.Since(precStart).Seconds()
 	solverStart := time.Now()
-	idsComp, err := sv.Compress(ids)
+	idsComp, err := solver.CompressTo(sv, sc.idsCmp[:0], ids)
 	if err != nil {
 		return nil, ci, err
 	}
+	sc.idsCmp = idsComp
 	ci.solverSecs += time.Since(solverStart).Seconds()
 	ci.solverInput += len(ids)
 	ci.hiComp = len(idsComp)
@@ -386,28 +471,35 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 		mask = analysis.Mask
 		ci.alpha2 = analysis.CompressibleFraction()
 	}
-	comp, incomp, err := isobar.Partition(lo, lay.LoBytes(), mask)
+	comp, incomp, err := isobar.AppendPartition(sc.comp[:0], sc.incomp[:0], lo, lay.LoBytes(), mask)
 	if err != nil {
 		return nil, ci, err
 	}
+	sc.comp, sc.incomp = comp, incomp
 	ci.precSecs += time.Since(precStart).Seconds()
 	solverStart = time.Now()
-	compOut, err := sv.Compress(comp)
+	compOut, err := solver.CompressTo(sv, sc.cmpOut[:0], comp)
 	if err != nil {
 		return nil, ci, err
 	}
+	sc.cmpOut = compOut
 	ci.solverSecs += time.Since(solverStart).Seconds()
 	ci.solverInput += len(comp)
 	// Guard: if the solver expanded the compressible part, store it raw and
-	// clear the mask so decode knows (ISOBAR's no-waste principle).
+	// clear the mask so decode knows (ISOBAR's no-waste principle). With the
+	// mask cleared the re-partitioned compressible part is empty, so the
+	// incompressible part is just the column-major linearization of lo and
+	// the solver output is the cached compressed-empty constant — no second
+	// partition pass, no second solver run.
 	if len(compOut) >= len(comp) && len(comp) > 0 {
 		mask = 0
-		comp2, incomp2, err := isobar.Partition(lo, lay.LoBytes(), mask)
+		comp = comp[:0]
+		incomp, err = bytesplit.AppendColumnize(sc.incomp[:0], lo, lay.LoBytes())
 		if err != nil {
 			return nil, ci, err
 		}
-		comp, incomp = comp2, incomp2
-		compOut, err = sv.Compress(comp)
+		sc.incomp = incomp
+		compOut, err = sc.compressedEmpty(sv)
 		if err != nil {
 			return nil, ci, err
 		}
@@ -417,7 +509,7 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 	ci.loCompOut = len(compOut)
 
 	// Assemble the chunk record.
-	enc := make([]byte, 0, len(idsComp)+len(compOut)+len(incomp)+len(indexBlob)+32)
+	enc := capSlice(sc.enc, len(idsComp)+len(compOut)+len(incomp)+len(indexBlob)+32)
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunk)))
 	enc = append(enc, u32[:]...)
@@ -437,6 +529,7 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(incomp)))
 	enc = append(enc, u32[:]...)
 	enc = append(enc, incomp...)
+	sc.enc = enc
 	return enc, ci, nil
 }
 
@@ -480,6 +573,13 @@ func Decompress(data []byte) ([]byte, error) {
 // CRC32C checksums verified, and any mismatch fails the decode with an error
 // wrapping both ErrCorrupt and ErrChecksum.
 func DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
+	var c Codec
+	return c.DecompressWithStats(data)
+}
+
+// DecompressWithStats is the Codec variant of the package-level
+// DecompressWithStats.
+func (c *Codec) DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
 	var ds DecompStats
 	h, err := parseHeader(data)
 	if err != nil {
@@ -507,7 +607,7 @@ func DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
 		if err != nil {
 			return nil, ds, err
 		}
-		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds)
+		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &c.sc)
 		if err != nil {
 			return nil, ds, err
 		}
@@ -531,7 +631,10 @@ func DecompressFloat64s(data []byte) ([]float64, error) {
 	return bytesplit.BytesToFloat64s(raw)
 }
 
-func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats) ([]byte, *freq.Index, error) {
+// decompressChunk decodes one chunk record into a buffer that aliases sc;
+// the caller must copy the returned chunk out before the next call reusing
+// the same scratch.
+func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats, sc *scratch) ([]byte, *freq.Index, error) {
 	pos := 0
 	readU32 := func() (int, error) {
 		if pos+4 > len(rec) {
@@ -545,7 +648,9 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 	if err != nil {
 		return nil, nil, err
 	}
-	if rawLen%lay.ElemBytes != 0 || rawLen < 0 || rawLen > maxChunkRaw {
+	// Bound checks come first: rawLen is attacker-controlled, so it must be
+	// rejected before any arithmetic uses it.
+	if rawLen < 0 || rawLen > maxChunkRaw || rawLen%lay.ElemBytes != 0 {
 		return nil, nil, fmt.Errorf("%w: chunk raw length %d", ErrCorrupt, rawLen)
 	}
 	n := rawLen / lay.ElemBytes
@@ -577,10 +682,13 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: truncated ID payload", ErrCorrupt)
 	}
 	solverStart := time.Now()
-	ids, err := sv.Decompress(rec[pos : pos+idsLen])
+	// The ID matrix size is known up front (n*HiBytes), so the pooled solver
+	// reader decompresses into pre-sized scratch without growth doubling.
+	ids, err := solver.DecompressTo(sv, capSlice(sc.ids, n*lay.HiBytes), rec[pos:pos+idsLen])
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: ID payload: %v", ErrCorrupt, err)
 	}
+	sc.ids = ids
 	ds.SolverSeconds += time.Since(solverStart).Seconds()
 	ds.SolverOutputBytes += len(ids)
 	pos += idsLen
@@ -589,10 +697,11 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 	}
 	precStart := time.Now()
 	if lin == LinearizeColumns && len(ids) > 0 {
-		ids, err = bytesplit.Decolumnize(ids, lay.HiBytes)
+		ids, err = bytesplit.AppendDecolumnize(sc.col[:0], ids, lay.HiBytes)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
+		sc.col = ids
 	}
 	var hi []byte
 	switch mapping {
@@ -605,10 +714,11 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 			}
 			hi = ids
 		} else {
-			hi, err = idx.Decode(ids)
+			hi, err = idx.AppendDecode(sc.hi[:0], ids)
 			if err != nil {
 				return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
+			sc.hi = hi
 		}
 	default:
 		return nil, nil, fmt.Errorf("%w: unknown mapping %d", ErrCorrupt, mapping)
@@ -628,10 +738,14 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: truncated mantissa payload", ErrCorrupt)
 	}
 	solverStart = time.Now()
-	comp, err := sv.Decompress(rec[pos : pos+compLen])
+	// Expected output size: one column of n bytes per mask bit within the
+	// low-order width (stray high mask bits are rejected by Unpartition).
+	nComp := bits.OnesCount64(mask & (1<<uint(lay.LoBytes()) - 1))
+	comp, err := solver.DecompressTo(sv, capSlice(sc.comp, nComp*n), rec[pos:pos+compLen])
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: mantissa payload: %v", ErrCorrupt, err)
 	}
+	sc.comp = comp
 	ds.SolverSeconds += time.Since(solverStart).Seconds()
 	ds.SolverOutputBytes += len(comp)
 	pos += compLen
@@ -648,14 +762,16 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: %d trailing bytes in chunk record", ErrCorrupt, len(rec)-pos)
 	}
 	precStart = time.Now()
-	lo, err := isobar.Unpartition(comp, incomp, lay.LoBytes(), mask, n)
+	lo, err := isobar.AppendUnpartition(sc.lo[:0], comp, incomp, lay.LoBytes(), mask, n)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	chunk, err := lay.Merge(hi, lo)
+	sc.lo = lo
+	chunk, err := lay.AppendMerge(sc.chunk[:0], hi, lo)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	sc.chunk = chunk
 	ds.PrecSeconds += time.Since(precStart).Seconds()
 	return chunk, idx, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -21,6 +22,12 @@ func FuzzDecompress(f *testing.F) {
 	mut := append([]byte(nil), valid...)
 	mut[len(mut)/2] ^= 0x10
 	f.Add(mut)
+	// v1 containers carry no chunk CRC, so an adversarial chunk record's
+	// claimed raw length reaches the decoder unfiltered. These seeds pin the
+	// bound checks that must run before any arithmetic on rawLen: an absurdly
+	// large claim and a non-element-aligned one.
+	f.Add(v1ChunkWithRawLen(0xFFFFFFFF))
+	f.Add(v1ChunkWithRawLen(maxChunkRaw - 3))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := Decompress(data)
 		if err != nil {
@@ -40,6 +47,25 @@ func FuzzDecompress(f *testing.F) {
 			t.Fatalf("re-round-trip failed: %v", err)
 		}
 	})
+}
+
+// v1ChunkWithRawLen hand-crafts a minimal v1 container whose single chunk
+// record claims the given raw length.
+func v1ChunkWithRawLen(rawLen uint32) []byte {
+	out := []byte("PRM1")
+	out = append(out, 0, 0, 0, 0) // lin, mapping, index mode, isobar flag
+	out = append(out, 0)          // precision: Float64
+	out = append(out, 4)          // solver name length
+	out = append(out, "zlib"...)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], 1<<20) // total raw bytes
+	out = append(out, hdr[:]...)                  // total + chunkBytes
+	rec := make([]byte, minChunkRecLen)
+	binary.LittleEndian.PutUint32(rec, rawLen)
+	var clen [4]byte
+	binary.LittleEndian.PutUint32(clen[:], uint32(len(rec)))
+	out = append(out, clen[:]...)
+	return append(out, rec...)
 }
 
 // FuzzCompress feeds arbitrary element-aligned bytes through the full

@@ -106,7 +106,9 @@ func (r *ChunkReader) DecodeChunk(i int) ([]byte, error) {
 		return nil, fmt.Errorf("core: chunk %d has no index (IndexReuse container); decode sequentially", i)
 	}
 	var ds DecompStats
-	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds)
+	// Fresh scratch per call: the returned chunk aliases it, and DecodeChunk
+	// hands ownership to the caller.
+	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds, new(scratch))
 	return chunk, err
 }
 

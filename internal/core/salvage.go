@@ -41,6 +41,7 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 	}
 	out := make([]byte, 0, preTotal)
 	var ds DecompStats
+	var sc scratch
 	var prevIndex *freq.Index
 	pos := h.end
 	chunkIdx := 0
@@ -49,7 +50,7 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 		if err == nil {
 			var chunk []byte
 			var idx *freq.Index
-			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds)
+			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &sc)
 			if err == nil {
 				prevIndex = idx
 				out = append(out, chunk...)

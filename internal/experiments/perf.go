@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"primacy/internal/core"
+	"primacy/internal/datagen"
+)
+
+// PerfDatasets are the three representative datasets the throughput baseline
+// tracks: one from each family the paper draws on (message-passing traces,
+// simulation checkpoints, observational data).
+var PerfDatasets = []string{"msg_sweep3d", "flash_velx", "obs_temp"}
+
+// PerfSolvers are the solver backends the baseline measures end to end.
+var PerfSolvers = []string{"zlib", "lzo", "bzlib"}
+
+// PerfConfig parameterizes the throughput baseline.
+type PerfConfig struct {
+	// N is the per-dataset element count (DefaultN when 0).
+	N int
+	// MinTime is the minimum cumulative wall time per throughput
+	// measurement; short operations repeat until it is reached
+	// (200ms when 0).
+	MinTime time.Duration
+	// Solvers and Datasets override the defaults when non-empty.
+	Solvers  []string
+	Datasets []string
+}
+
+// PerfEntry is one (solver, dataset) cell of the throughput baseline.
+type PerfEntry struct {
+	Solver          string  `json:"solver"`
+	Dataset         string  `json:"dataset"`
+	RawBytes        int     `json:"raw_bytes"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	Ratio           float64 `json:"ratio"`
+	// CTPMBps / DTPMBps are end-to-end codec compression and decompression
+	// throughput in MB/s (10^6 bytes), the paper's CTP/DTP.
+	CTPMBps float64 `json:"ctp_mbps"`
+	DTPMBps float64 `json:"dtp_mbps"`
+	// CompressAllocs / DecompressAllocs are steady-state heap allocations
+	// per full-stream codec call with a reused core.Codec.
+	CompressAllocs   float64 `json:"compress_allocs"`
+	DecompressAllocs float64 `json:"decompress_allocs"`
+}
+
+// PerfBaseline is the machine-readable result the benchperf command writes
+// to BENCH_throughput.json and CI sanity-checks.
+type PerfBaseline struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Elements  int         `json:"elements_per_dataset"`
+	Entries   []PerfEntry `json:"entries"`
+}
+
+// ThroughputBaseline measures end-to-end compression/decompression
+// throughput and steady-state allocation counts for every configured
+// (solver, dataset) pair, reusing one core.Codec per pair the way the
+// parallel pipeline's workers do.
+func ThroughputBaseline(cfg PerfConfig) (*PerfBaseline, error) {
+	n := elemCount(cfg.N)
+	minTime := cfg.MinTime
+	if minTime <= 0 {
+		minTime = 200 * time.Millisecond
+	}
+	solvers := cfg.Solvers
+	if len(solvers) == 0 {
+		solvers = PerfSolvers
+	}
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = PerfDatasets
+	}
+	base := &PerfBaseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Elements:  n,
+	}
+	for _, ds := range datasets {
+		spec, ok := datagen.ByName(ds)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", ds)
+		}
+		raw := spec.GenerateBytes(n)
+		for _, sv := range solvers {
+			entry, err := measurePair(sv, ds, raw, minTime)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", sv, ds, err)
+			}
+			base.Entries = append(base.Entries, entry)
+		}
+	}
+	return base, nil
+}
+
+func measurePair(sv, ds string, raw []byte, minTime time.Duration) (PerfEntry, error) {
+	opts := core.Options{Solver: sv}
+	var codec core.Codec
+	enc, err := codec.Compress(raw, opts)
+	if err != nil {
+		return PerfEntry{}, err
+	}
+	dec, err := codec.Decompress(enc)
+	if err != nil {
+		return PerfEntry{}, err
+	}
+	if len(dec) != len(raw) {
+		return PerfEntry{}, fmt.Errorf("round trip lost bytes: %d != %d", len(dec), len(raw))
+	}
+	entry := PerfEntry{
+		Solver:          sv,
+		Dataset:         ds,
+		RawBytes:        len(raw),
+		CompressedBytes: len(enc),
+		Ratio:           float64(len(raw)) / float64(len(enc)),
+	}
+	ctp, err := timeOpMin(len(raw), minTime, func() error {
+		_, err := codec.Compress(raw, opts)
+		return err
+	})
+	if err != nil {
+		return PerfEntry{}, err
+	}
+	dtp, err := timeOpMin(len(raw), minTime, func() error {
+		_, err := codec.Decompress(enc)
+		return err
+	})
+	if err != nil {
+		return PerfEntry{}, err
+	}
+	entry.CTPMBps = ctp / 1e6
+	entry.DTPMBps = dtp / 1e6
+	entry.CompressAllocs = allocsPerRun(3, func() {
+		if _, err := codec.Compress(raw, opts); err != nil {
+			panic(err)
+		}
+	})
+	entry.DecompressAllocs = allocsPerRun(3, func() {
+		if _, err := codec.Decompress(enc); err != nil {
+			panic(err)
+		}
+	})
+	return entry, nil
+}
+
+// allocsPerRun mirrors testing.AllocsPerRun (single-threaded, warm-up call,
+// mallocs averaged over runs) without pulling package testing into the
+// library import graph.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// timeOpMin is timeOp with a caller-chosen minimum measurement window.
+func timeOpMin(bytesPerCall int, minTime time.Duration, op func() error) (bps float64, err error) {
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < minTime {
+		if err := op(); err != nil {
+			return 0, err
+		}
+		reps++
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(bytesPerCall) * float64(reps) / elapsed, nil
+}
+
+// Check validates a baseline the way CI does: every configured cell present,
+// every ratio and throughput finite and positive.
+func (b *PerfBaseline) Check() error {
+	if b.GoVersion == "" || b.GOOS == "" || b.GOARCH == "" || b.NumCPU <= 0 {
+		return fmt.Errorf("experiments: baseline missing environment metadata")
+	}
+	if len(b.Entries) == 0 {
+		return fmt.Errorf("experiments: baseline has no entries")
+	}
+	for _, e := range b.Entries {
+		if e.Solver == "" || e.Dataset == "" {
+			return fmt.Errorf("experiments: entry missing solver/dataset: %+v", e)
+		}
+		for name, v := range map[string]float64{
+			"ratio": e.Ratio, "ctp_mbps": e.CTPMBps, "dtp_mbps": e.DTPMBps,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("experiments: %s/%s: %s = %v not finite and positive",
+					e.Solver, e.Dataset, name, v)
+			}
+		}
+		if e.RawBytes <= 0 || e.CompressedBytes <= 0 {
+			return fmt.Errorf("experiments: %s/%s: sizes not populated", e.Solver, e.Dataset)
+		}
+		if e.CompressAllocs < 0 || e.DecompressAllocs < 0 {
+			return fmt.Errorf("experiments: %s/%s: negative alloc counts", e.Solver, e.Dataset)
+		}
+	}
+	return nil
+}
+
+// MarshalIndent renders the baseline as the committed JSON form.
+func (b *PerfBaseline) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// LoadBaseline parses a BENCH_throughput.json payload.
+func LoadBaseline(data []byte) (*PerfBaseline, error) {
+	var b PerfBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("experiments: parse baseline: %w", err)
+	}
+	return &b, nil
+}

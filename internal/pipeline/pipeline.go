@@ -13,7 +13,6 @@ import (
 	"runtime"
 	"sync"
 
-	"primacy/internal/bytesplit"
 	"primacy/internal/checksum"
 	"primacy/internal/core"
 )
@@ -53,18 +52,20 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) shardBytes(total int) int {
+// shardBytes computes the per-shard input size, rounded to whole elements of
+// the configured precision (Float32 inputs shard on 4-byte elements, not 8).
+func (o Options) shardBytes(total, elemBytes int) int {
 	if o.ShardBytes > 0 {
 		// Round to whole elements.
-		sb := o.ShardBytes - o.ShardBytes%bytesplit.BytesPerValue
-		if sb < bytesplit.BytesPerValue {
-			sb = bytesplit.BytesPerValue
+		sb := o.ShardBytes - o.ShardBytes%elemBytes
+		if sb < elemBytes {
+			sb = elemBytes
 		}
 		return sb
 	}
 	w := o.workers()
 	sb := (total + w - 1) / w
-	sb -= sb % bytesplit.BytesPerValue
+	sb -= sb % elemBytes
 	chunk := o.Core.ChunkBytes
 	if chunk == 0 {
 		chunk = 3 << 20
@@ -75,13 +76,19 @@ func (o Options) shardBytes(total int) int {
 	return sb
 }
 
-// Compress compresses data using up to Workers goroutines.
+// Compress compresses data using up to Workers goroutines. Each worker owns
+// a core.Codec, so per-chunk scratch and pooled solver state are reused
+// across every shard that worker processes without cross-worker contention.
 func Compress(data []byte, opts Options) ([]byte, error) {
-	if len(data)%bytesplit.BytesPerValue != 0 {
-		return nil, fmt.Errorf("pipeline: input %d not a multiple of %d bytes",
-			len(data), bytesplit.BytesPerValue)
+	lay, err := opts.Core.Precision.Layout()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
-	shardSize := opts.shardBytes(len(data))
+	if len(data)%lay.ElemBytes != 0 {
+		return nil, fmt.Errorf("pipeline: input %d not a multiple of %d bytes",
+			len(data), lay.ElemBytes)
+	}
+	shardSize := opts.shardBytes(len(data), lay.ElemBytes)
 	var shards [][]byte
 	for off := 0; off < len(data); off += shardSize {
 		end := off + shardSize
@@ -92,18 +99,9 @@ func Compress(data []byte, opts Options) ([]byte, error) {
 	}
 	outputs := make([][]byte, len(shards))
 	errs := make([]error, len(shards))
-	sem := make(chan struct{}, opts.workers())
-	var wg sync.WaitGroup
-	for i, shard := range shards {
-		wg.Add(1)
-		go func(i int, shard []byte) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outputs[i], errs[i] = core.Compress(shard, opts.Core)
-		}(i, shard)
-	}
-	wg.Wait()
+	runShards(opts.workers(), len(shards), func(codec *core.Codec, i int) {
+		outputs[i], errs[i] = codec.Compress(shards[i], opts.Core)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -175,7 +173,34 @@ func splitShards(data []byte) (shards [][]byte, offsets []int, err error) {
 	return shards, offsets, nil
 }
 
-// Decompress reverses Compress using up to opts.workers() goroutines.
+// runShards processes shard indices [0, n) on up to workers goroutines.
+// Each goroutine owns one core.Codec for its lifetime — per-worker scratch —
+// and pulls indices from a shared channel so stragglers balance out.
+func runShards(workers, n int, do func(codec *core.Codec, i int)) {
+	if workers > n {
+		workers = n
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var codec core.Codec
+			for i := range idxCh {
+				do(&codec, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+}
+
+// Decompress reverses Compress using up to opts.workers() goroutines, each
+// owning a core.Codec with per-worker scratch.
 func Decompress(data []byte, opts Options) ([]byte, error) {
 	shards, _, err := splitShards(data)
 	if err != nil {
@@ -183,18 +208,9 @@ func Decompress(data []byte, opts Options) ([]byte, error) {
 	}
 	outputs := make([][]byte, len(shards))
 	errs := make([]error, len(shards))
-	sem := make(chan struct{}, opts.workers())
-	var wg sync.WaitGroup
-	for i, shard := range shards {
-		wg.Add(1)
-		go func(i int, shard []byte) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outputs[i], errs[i] = core.Decompress(shard)
-		}(i, shard)
-	}
-	wg.Wait()
+	runShards(opts.workers(), len(shards), func(codec *core.Codec, i int) {
+		outputs[i], errs[i] = codec.Decompress(shards[i])
+	})
 	total := 0
 	for i, err := range errs {
 		if err != nil {

@@ -2,9 +2,11 @@ package pipeline
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"primacy/internal/bytesplit"
 	"primacy/internal/core"
 	"primacy/internal/datagen"
 )
@@ -68,7 +70,7 @@ func TestShardingMatchesSequentialCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shardSize := opts.shardBytes(len(raw))
+	shardSize := opts.shardBytes(len(raw), 8)
 	want, err := core.Compress(raw[:shardSize], opts.Core)
 	if err != nil {
 		t.Fatal(err)
@@ -103,11 +105,11 @@ func TestDecompressCorrupt(t *testing.T) {
 
 func TestShardBytesRounding(t *testing.T) {
 	o := Options{ShardBytes: 13}
-	if got := o.shardBytes(1000); got != 8 {
+	if got := o.shardBytes(1000, 8); got != 8 {
 		t.Fatalf("shard rounding: %d", got)
 	}
 	o = Options{ShardBytes: 0, Workers: 4}
-	sb := o.shardBytes(100 * 8)
+	sb := o.shardBytes(100*8, 8)
 	if sb%8 != 0 || sb <= 0 {
 		t.Fatalf("default shard size %d not element aligned", sb)
 	}
@@ -155,5 +157,45 @@ func BenchmarkSequentialCompress(b *testing.B) {
 		if _, err := Compress(raw, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Regression test for the headline bug: the sharder hardcoded the float64
+// element size, so valid Float32 inputs whose length was 4 mod 8 were
+// rejected and shard boundaries could split a float32 in half. Shard sizing
+// must follow opts.Core.Precision.
+func TestFloat32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	values := make([]float32, 10_001) // 40_004 bytes: 4 mod 8, multi-shard
+	for i := range values {
+		values[i] = float32((1 + rng.Float64()) * 100)
+	}
+	raw := bytesplit.Float32sToBytes(values)
+	opts := Options{
+		ShardBytes: 8 << 10,
+		Core:       core.Options{Precision: core.Float32, ChunkBytes: 4 << 10},
+	}
+	enc, err := Compress(raw, opts)
+	if err != nil {
+		t.Fatalf("Compress rejected valid float32 input: %v", err)
+	}
+	dec, err := Decompress(enc, opts)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatal("float32 round trip mismatch")
+	}
+}
+
+// A 4-byte-element input that is not float64-aligned must still shard on
+// 4-byte boundaries, and a half-element remains invalid.
+func TestFloat32Ragged(t *testing.T) {
+	opts := Options{Core: core.Options{Precision: core.Float32}}
+	if _, err := Compress(make([]byte, 6), opts); err == nil {
+		t.Fatal("6 bytes accepted for 4-byte elements")
+	}
+	if _, err := Compress(make([]byte, 4), opts); err != nil {
+		t.Fatalf("single float32 rejected: %v", err)
 	}
 }

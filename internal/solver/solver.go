@@ -3,13 +3,21 @@
 // paper evaluates — zlib (stdlib DEFLATE), our lzo-style fast LZ, and our
 // bzlib-style BWT block compressor — plus a raw passthrough used for
 // ISOBAR-classified incompressible bytes.
+//
+// Solvers run on the per-chunk hot path, so the package exposes append-style
+// CompressTo/DecompressTo variants that recycle zlib writer and reader state
+// through sync.Pools and emit into caller-provided scratch. The plain
+// Compress/Decompress methods are convenience wrappers over the same pooled
+// implementations; both spellings produce byte-identical output.
 package solver
 
 import (
 	"bytes"
+	"compress/flate"
 	"compress/zlib"
 	"errors"
 	"fmt"
+	"hash/adler32"
 	"io"
 	"sort"
 	"sync"
@@ -20,10 +28,16 @@ import (
 
 // interface checks
 var (
-	_ Compressor = Zlib{}
-	_ Compressor = LZO{}
-	_ Compressor = BZlib{}
-	_ Compressor = None{}
+	_ Compressor     = Zlib{}
+	_ Compressor     = LZO{}
+	_ Compressor     = BZlib{}
+	_ Compressor     = None{}
+	_ CompressorTo   = Zlib{}
+	_ CompressorTo   = LZO{}
+	_ CompressorTo   = None{}
+	_ DecompressorTo = Zlib{}
+	_ DecompressorTo = LZO{}
+	_ DecompressorTo = None{}
 )
 
 // Compressor is a lossless byte-stream codec.
@@ -34,6 +48,48 @@ type Compressor interface {
 	Compress(src []byte) ([]byte, error)
 	// Decompress inverts Compress.
 	Decompress(src []byte) ([]byte, error)
+}
+
+// CompressorTo is implemented by solvers that can append their compressed
+// output to a caller-provided buffer, avoiding a fresh output allocation per
+// call. CompressTo(dst, src) appends to dst and returns the extended slice;
+// the appended bytes are identical to Compress(src).
+type CompressorTo interface {
+	CompressTo(dst, src []byte) ([]byte, error)
+}
+
+// DecompressorTo is implemented by solvers that can append their decompressed
+// output to a caller-provided buffer. With dst pre-sized to the known output
+// length the steady state is allocation-free.
+type DecompressorTo interface {
+	DecompressTo(dst, src []byte) ([]byte, error)
+}
+
+// CompressTo appends c's compressed representation of src to dst, using the
+// solver's pooled fast path when it implements CompressorTo and falling back
+// to Compress otherwise. The appended bytes are identical either way.
+func CompressTo(c Compressor, dst, src []byte) ([]byte, error) {
+	if ct, ok := c.(CompressorTo); ok {
+		return ct.CompressTo(dst, src)
+	}
+	out, err := c.Compress(src)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}
+
+// DecompressTo appends the decompression of src to dst, using the solver's
+// pooled fast path when it implements DecompressorTo.
+func DecompressTo(c Compressor, dst, src []byte) ([]byte, error) {
+	if dt, ok := c.(DecompressorTo); ok {
+		return dt.DecompressTo(dst, src)
+	}
+	out, err := c.Decompress(src)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
 }
 
 // ErrUnknown indicates a solver name that is not registered.
@@ -83,8 +139,8 @@ func init() {
 }
 
 // Zlib wraps the standard library's zlib (DEFLATE) implementation — the
-// paper's primary solver. Writers are pooled per level: allocating a fresh
-// DEFLATE window for every chunk-sized call would dominate the in-situ
+// paper's primary solver. Writer and reader state is pooled: allocating a
+// fresh DEFLATE window for every chunk-sized call would dominate the in-situ
 // compression cost.
 type Zlib struct {
 	// Level is the DEFLATE level (zlib.DefaultCompression if 0 is desired,
@@ -92,56 +148,227 @@ type Zlib struct {
 	Level int
 }
 
-// zlibPools holds one writer pool per compression level (-2..9 -> index+2).
-var zlibPools [12]sync.Pool
+// appendWriter is an io.Writer that appends to a byte slice, letting pooled
+// zlib writers emit straight into caller scratch.
+type appendWriter struct{ b []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// zlibWriter couples a pooled zlib.Writer with its reusable append sink so a
+// steady-state CompressTo call allocates nothing.
+type zlibWriter struct {
+	w    *zlib.Writer
+	sink appendWriter
+}
+
+// zlibWriterPools holds one writer pool per compression level
+// (-2..9 -> index+2).
+var zlibWriterPools [12]sync.Pool
+
+func (z Zlib) level() (int, error) {
+	level := z.Level
+	if level == 0 {
+		level = zlib.DefaultCompression
+	}
+	if level < -2 || level > 9 {
+		return 0, fmt.Errorf("zlib: invalid level %d", level)
+	}
+	return level, nil
+}
+
+// acquireZlibWriter returns a pooled writer for level, creating one when the
+// pool is empty. The writer is not yet Reset onto a sink.
+func acquireZlibWriter(level int) (*zlibWriter, *sync.Pool, error) {
+	pool := &zlibWriterPools[level+2]
+	zw, _ := pool.Get().(*zlibWriter)
+	if zw == nil {
+		zw = &zlibWriter{}
+		w, err := zlib.NewWriterLevel(&zw.sink, level)
+		if err != nil {
+			return nil, nil, fmt.Errorf("zlib: %w", err)
+		}
+		zw.w = w
+	}
+	return zw, pool, nil
+}
+
+// releaseZlibWriter returns zw to its pool with the sink detached so pooled
+// writers never pin caller buffers. Writers are released on error paths too:
+// the next acquire Resets them, which restores full health, so a faulty sink
+// must not leak the (expensive) DEFLATE state.
+func releaseZlibWriter(pool *sync.Pool, zw *zlibWriter) {
+	zw.sink.b = nil
+	pool.Put(zw)
+}
+
+// compressInto runs one pooled compression of src into an arbitrary sink.
+// The pooled writer always returns to the pool, error or not.
+func compressInto(dst io.Writer, src []byte, level int) error {
+	zw, pool, err := acquireZlibWriter(level)
+	if err != nil {
+		return err
+	}
+	zw.w.Reset(dst)
+	_, werr := zw.w.Write(src)
+	cerr := zw.w.Close()
+	releaseZlibWriter(pool, zw)
+	if werr != nil {
+		return fmt.Errorf("zlib: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("zlib: %w", cerr)
+	}
+	return nil
+}
 
 // Name implements Compressor.
 func (z Zlib) Name() string { return "zlib" }
 
 // Compress implements Compressor.
 func (z Zlib) Compress(src []byte) ([]byte, error) {
-	level := z.Level
-	if level == 0 {
-		level = zlib.DefaultCompression
-	}
-	if level < -2 || level > 9 {
-		return nil, fmt.Errorf("zlib: invalid level %d", level)
-	}
-	pool := &zlibPools[level+2]
-	var buf bytes.Buffer
-	buf.Grow(len(src)/2 + 64)
-	w, _ := pool.Get().(*zlib.Writer)
-	if w == nil {
-		var err error
-		w, err = zlib.NewWriterLevel(&buf, level)
-		if err != nil {
-			return nil, fmt.Errorf("zlib: %w", err)
-		}
-	} else {
-		w.Reset(&buf)
-	}
-	if _, err := w.Write(src); err != nil {
-		return nil, fmt.Errorf("zlib: %w", err)
-	}
-	if err := w.Close(); err != nil {
-		return nil, fmt.Errorf("zlib: %w", err)
-	}
-	pool.Put(w)
-	return buf.Bytes(), nil
+	return z.CompressTo(make([]byte, 0, len(src)/2+64), src)
 }
+
+// CompressTo implements CompressorTo: it appends the zlib stream to dst
+// using a pooled writer and returns the extended slice.
+func (z Zlib) CompressTo(dst, src []byte) ([]byte, error) {
+	level, err := z.level()
+	if err != nil {
+		return nil, err
+	}
+	zw, pool, err := acquireZlibWriter(level)
+	if err != nil {
+		return nil, err
+	}
+	zw.sink.b = dst
+	zw.w.Reset(&zw.sink)
+	_, werr := zw.w.Write(src)
+	cerr := zw.w.Close()
+	out := zw.sink.b
+	releaseZlibWriter(pool, zw)
+	if werr != nil {
+		return nil, fmt.Errorf("zlib: %w", werr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("zlib: %w", cerr)
+	}
+	return out, nil
+}
+
+// zlibReader couples a pooled flate reader with its reusable bytes.Reader
+// source. The reader is recycled through flate.Resetter. DecompressTo parses
+// the zlib framing itself (RFC 1950: 2-byte header, DEFLATE body, 4-byte
+// Adler-32 trailer) because zlib.Reader.Reset allocates a fresh digest per
+// call, which would break the steady-state zero-allocation guarantee.
+type zlibReader struct {
+	br bytes.Reader
+	fr io.ReadCloser
+	// probe lets readAppend check for EOF without growing an exactly-sized
+	// destination (field rather than local so it does not escape per call).
+	probe [1]byte
+}
+
+var zlibReaderPool sync.Pool
 
 // Decompress implements Compressor.
 func (z Zlib) Decompress(src []byte) ([]byte, error) {
-	r, err := zlib.NewReader(bytes.NewReader(src))
-	if err != nil {
+	return z.DecompressTo(nil, src)
+}
+
+// DecompressTo implements DecompressorTo: it appends the decompression of
+// src to dst using a pooled reader. With dst pre-sized to the known output
+// length the call is allocation-free in steady state.
+func (z Zlib) DecompressTo(dst, src []byte) ([]byte, error) {
+	// RFC 1950 header: CM must be 8 (DEFLATE), CINFO <= 7, the CMF/FLG pair
+	// a multiple of 31. Preset dictionaries are never emitted by Compress.
+	if len(src) < 6 {
+		return nil, fmt.Errorf("zlib: %w", io.ErrUnexpectedEOF)
+	}
+	if src[0]&0x0f != 8 || src[0]>>4 > 7 || (uint(src[0])<<8|uint(src[1]))%31 != 0 {
+		return nil, fmt.Errorf("zlib: %w", zlib.ErrHeader)
+	}
+	if src[1]&0x20 != 0 {
+		return nil, fmt.Errorf("zlib: %w", zlib.ErrDictionary)
+	}
+	zr, _ := zlibReaderPool.Get().(*zlibReader)
+	if zr == nil {
+		zr = &zlibReader{}
+	}
+	zr.br.Reset(src[2:])
+	if zr.fr == nil {
+		zr.fr = flate.NewReader(&zr.br)
+	} else if err := zr.fr.(flate.Resetter).Reset(&zr.br, nil); err != nil {
+		releaseZlibReader(zr)
 		return nil, fmt.Errorf("zlib: %w", err)
 	}
-	defer r.Close()
-	out, err := io.ReadAll(r)
+	start := len(dst)
+	out, err := zr.readAppend(dst)
 	if err != nil {
+		releaseZlibReader(zr)
 		return nil, fmt.Errorf("zlib: %w", err)
+	}
+	// bytes.Reader is a ByteReader, so flate never overreads: the next four
+	// source bytes are the big-endian Adler-32 of the decompressed data.
+	rem := zr.br.Len()
+	releaseZlibReader(zr)
+	if rem < 4 {
+		return nil, fmt.Errorf("zlib: %w", io.ErrUnexpectedEOF)
+	}
+	tr := src[len(src)-rem:]
+	want := uint32(tr[0])<<24 | uint32(tr[1])<<16 | uint32(tr[2])<<8 | uint32(tr[3])
+	if adler32.Checksum(out[start:]) != want {
+		return nil, fmt.Errorf("zlib: %w", zlib.ErrChecksum)
 	}
 	return out, nil
+}
+
+// releaseZlibReader detaches the source (so pooled readers never pin caller
+// buffers) and returns zr to the pool. Readers whose last use errored are
+// pooled too; Reset on the next acquire restores them.
+func releaseZlibReader(zr *zlibReader) {
+	zr.br.Reset(nil)
+	if zr.fr != nil {
+		// Detach the flate reader from the (now nil-backed) source too.
+		zr.fr.(flate.Resetter).Reset(&zr.br, nil)
+	}
+	zlibReaderPool.Put(zr)
+}
+
+// readAppend reads the flate stream to EOF, appending to dst and growing
+// only when the caller-provided capacity genuinely runs out: a full dst is
+// first probed for EOF so an exactly-pre-sized buffer is never reallocated.
+func (zr *zlibReader) readAppend(dst []byte) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			n, err := zr.fr.Read(zr.probe[:])
+			if n > 0 {
+				dst = append(dst, zr.probe[0])
+			}
+			if err == io.EOF {
+				return dst, nil
+			}
+			if err != nil {
+				return dst, err
+			}
+			if n == 0 {
+				// No data and no error: grow so the next full-width Read
+				// cannot spin.
+				dst = append(dst, 0)[:len(dst)]
+			}
+			continue
+		}
+		n, err := zr.fr.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 // LZO is the lzo-style fast LZ77 solver.
@@ -153,8 +380,18 @@ func (LZO) Name() string { return "lzo" }
 // Compress implements Compressor.
 func (LZO) Compress(src []byte) ([]byte, error) { return lzo.Compress(src), nil }
 
+// CompressTo implements CompressorTo.
+func (LZO) CompressTo(dst, src []byte) ([]byte, error) {
+	return lzo.AppendCompress(dst, src), nil
+}
+
 // Decompress implements Compressor.
 func (LZO) Decompress(src []byte) ([]byte, error) { return lzo.Decompress(src) }
+
+// DecompressTo implements DecompressorTo.
+func (LZO) DecompressTo(dst, src []byte) ([]byte, error) {
+	return lzo.AppendDecompress(dst, src)
+}
 
 // BZlib is the bzip2-style BWT block solver.
 type BZlib struct {
@@ -184,7 +421,17 @@ func (None) Compress(src []byte) ([]byte, error) {
 	return append([]byte(nil), src...), nil
 }
 
+// CompressTo implements CompressorTo.
+func (None) CompressTo(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
+}
+
 // Decompress implements Compressor.
 func (None) Decompress(src []byte) ([]byte, error) {
 	return append([]byte(nil), src...), nil
+}
+
+// DecompressTo implements DecompressorTo.
+func (None) DecompressTo(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
 }

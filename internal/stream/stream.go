@@ -73,14 +73,11 @@ func NewWriter(dst io.Writer, opts core.Options) (*Writer, error) {
 }
 
 func layoutFor(opts core.Options) (bytesplit.Layout, error) {
-	switch opts.Precision {
-	case core.Float64:
-		return bytesplit.Float64Layout, nil
-	case core.Float32:
-		return bytesplit.Float32Layout, nil
-	default:
-		return bytesplit.Layout{}, fmt.Errorf("stream: unknown precision %d", opts.Precision)
+	lay, err := opts.Precision.Layout()
+	if err != nil {
+		return bytesplit.Layout{}, fmt.Errorf("stream: %w", err)
 	}
+	return lay, nil
 }
 
 // Write buffers p and emits full segments as they fill.

@@ -63,6 +63,13 @@ const (
 	IndexReuse       = core.IndexReuse
 )
 
+// Codec is a reusable compressor/decompressor that carries its scratch
+// buffers across calls, making repeated per-chunk work allocation-light.
+// The zero value is ready to use; output is byte-identical to the
+// package-level functions. A Codec is not safe for concurrent use — give
+// each worker its own.
+type Codec = core.Codec
+
 // Compress compresses a byte stream of float64 data (length must be a
 // multiple of 8; use Float64sToBytes for serialization).
 func Compress(data []byte, opts Options) ([]byte, error) {
