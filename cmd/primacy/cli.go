@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -9,8 +10,62 @@ import (
 	"os"
 
 	"primacy"
+	"primacy/internal/archive"
 	"primacy/internal/bytesplit"
+	"primacy/internal/core"
+	"primacy/internal/pipeline"
+	"primacy/internal/stream"
 )
+
+// Exit codes (documented in -h): sysexits-style 64 for bad usage, 2 for
+// detected corruption, 130 (128+SIGINT) for cancellation, 1 for any other
+// failure.
+const (
+	exitOK        = 0
+	exitFailure   = 1
+	exitCorrupt   = 2
+	exitUsage     = 64
+	exitCancelled = 130
+)
+
+// usageText is printed for -h; flag defaults are appended by parseArgs.
+const usageText = `usage:
+  primacy -c [-solver zlib] [-chunk N] [-workers N] [-o out.prm] input.f64
+  primacy -d [-salvage] [-workers N] [-o out.f64] input.prm
+  primacy -stats input.f64
+  primacy verify file.prm
+
+exit codes:
+  0    success
+  1    operational failure (I/O, internal error)
+  2    corruption detected (verify failure, corrupt container)
+  64   usage error (bad flags or arguments)
+  130  cancelled (SIGINT/SIGTERM)
+
+flags:
+`
+
+// errCorruptionFound classifies verify/salvage findings for exit-code
+// mapping.
+var errCorruptionFound = errors.New("corruption found")
+
+// exitCode maps an error to the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return exitCancelled
+	case errors.Is(err, errCorruptionFound),
+		errors.Is(err, core.ErrCorrupt),
+		errors.Is(err, pipeline.ErrCorrupt),
+		errors.Is(err, stream.ErrCorrupt),
+		errors.Is(err, archive.ErrCorrupt):
+		return exitCorrupt
+	default:
+		return exitFailure
+	}
+}
 
 // cli holds the parsed command configuration; separated from main so the
 // tool's behaviour is unit-testable without exec.
@@ -43,6 +98,12 @@ func parseArgs(args []string) (*cli, error) {
 	}
 	fs := flag.NewFlagSet("primacy", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, usageText)
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
 	fs.BoolVar(&c.compress, "c", false, "compress the input file")
 	fs.BoolVar(&c.decompress, "d", false, "decompress the input file")
 	fs.BoolVar(&c.salvage, "salvage", false, "with -d: recover what a damaged file still holds, reporting lost regions")
@@ -104,6 +165,12 @@ func (c *cli) options() primacy.Options {
 
 // run executes the parsed command, writing human output to w.
 func (c *cli) run(w io.Writer) error {
+	return c.runCtx(context.Background(), w)
+}
+
+// runCtx is run with cancellation: a done ctx (e.g. SIGINT) aborts between
+// chunks/shards and surfaces as ctx.Err(), which main maps to exit 130.
+func (c *cli) runCtx(ctx context.Context, w io.Writer) error {
 	data, err := os.ReadFile(c.input)
 	if err != nil {
 		return err
@@ -112,9 +179,9 @@ func (c *cli) run(w io.Writer) error {
 		return c.runVerify(w, data)
 	}
 	if c.compress {
-		return c.runCompress(w, data)
+		return c.runCompress(ctx, w, data)
 	}
-	return c.runDecompress(w, data)
+	return c.runDecompress(ctx, w, data)
 }
 
 // runVerify checks the integrity of any PRIMACY artifact and reports every
@@ -126,12 +193,12 @@ func (c *cli) runVerify(w io.Writer, data []byte) error {
 	}
 	fmt.Fprintf(w, "%s: %s\n", c.input, rep)
 	if !rep.Clean() {
-		return fmt.Errorf("%s: %d corruption(s) found", c.input, len(rep.Corruptions))
+		return fmt.Errorf("%s: %w: %d fault(s)", c.input, errCorruptionFound, len(rep.Corruptions))
 	}
 	return nil
 }
 
-func (c *cli) runCompress(w io.Writer, data []byte) error {
+func (c *cli) runCompress(ctx context.Context, w io.Writer, data []byte) error {
 	opts := c.options()
 	if c.showStats {
 		_, stats, err := primacy.CompressWithStats(data, opts)
@@ -152,9 +219,9 @@ func (c *cli) runCompress(w io.Writer, data []byte) error {
 	var enc []byte
 	var err error
 	if c.workers == 1 {
-		enc, err = primacy.Compress(data, opts)
+		enc, err = primacy.CompressCtx(ctx, data, opts)
 	} else {
-		enc, err = primacy.ParallelCompress(data, primacy.ParallelOptions{Core: opts, Workers: c.workers})
+		enc, err = primacy.ParallelCompressCtx(ctx, data, primacy.ParallelOptions{Core: opts, Workers: c.workers})
 	}
 	if err != nil {
 		return err
@@ -171,8 +238,8 @@ func (c *cli) runCompress(w io.Writer, data []byte) error {
 	return nil
 }
 
-func (c *cli) runDecompress(w io.Writer, data []byte) error {
-	dec, rep, err := c.decode(data)
+func (c *cli) runDecompress(ctx context.Context, w io.Writer, data []byte) error {
+	dec, rep, err := c.decode(ctx, data)
 	if err != nil {
 		return err
 	}
@@ -196,7 +263,7 @@ func (c *cli) runDecompress(w io.Writer, data []byte) error {
 
 // decode dispatches on the container magic — parallel ("PRP"), stream
 // ("PRS"), or sequential core — honoring -salvage.
-func (c *cli) decode(data []byte) ([]byte, *primacy.CorruptionReport, error) {
+func (c *cli) decode(ctx context.Context, data []byte) ([]byte, *primacy.CorruptionReport, error) {
 	kind := ""
 	if len(data) >= 4 {
 		kind = string(data[:3])
@@ -206,7 +273,7 @@ func (c *cli) decode(data []byte) ([]byte, *primacy.CorruptionReport, error) {
 		if c.salvage {
 			return primacy.ParallelDecompressSalvage(data, primacy.ParallelOptions{Workers: c.workers})
 		}
-		dec, err := primacy.ParallelDecompress(data, primacy.ParallelOptions{Workers: c.workers})
+		dec, err := primacy.ParallelDecompressCtx(ctx, data, primacy.ParallelOptions{Workers: c.workers})
 		return dec, nil, err
 	case "PRS":
 		if c.salvage {
@@ -214,7 +281,7 @@ func (c *cli) decode(data []byte) ([]byte, *primacy.CorruptionReport, error) {
 			dec, err := io.ReadAll(r)
 			return dec, r.Report(), err
 		}
-		dec, err := io.ReadAll(primacy.NewStreamReader(bytes.NewReader(data)))
+		dec, err := io.ReadAll(primacy.NewStreamReaderCtx(ctx, bytes.NewReader(data)))
 		return dec, nil, err
 	case "PAR":
 		if c.salvage {

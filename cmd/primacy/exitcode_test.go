@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"primacy/internal/archive"
+	"primacy/internal/core"
+	"primacy/internal/faultinject"
+	"primacy/internal/pipeline"
+	"primacy/internal/stream"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"plain failure", errors.New("disk full"), exitFailure},
+		{"cancelled", context.Canceled, exitCancelled},
+		{"deadline", context.DeadlineExceeded, exitCancelled},
+		{"wrapped cancelled", fmt.Errorf("compress: %w", context.Canceled), exitCancelled},
+		{"verify finding", fmt.Errorf("x: %w: 3 faults", errCorruptionFound), exitCorrupt},
+		{"core corrupt", fmt.Errorf("decode: %w", core.ErrCorrupt), exitCorrupt},
+		{"shard corrupt", fmt.Errorf("shard: %w", pipeline.ErrCorrupt), exitCorrupt},
+		{"stream corrupt", fmt.Errorf("segment: %w", stream.ErrCorrupt), exitCorrupt},
+		{"archive corrupt", fmt.Errorf("entry: %w", archive.ErrCorrupt), exitCorrupt},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestUsageDocumentsExitCodes(t *testing.T) {
+	for _, want := range []string{"130", "64", "corruption", "cancelled"} {
+		if !bytes.Contains([]byte(usageText), []byte(want)) {
+			t.Errorf("usage text does not document %q", want)
+		}
+	}
+}
+
+func TestVerifyCorruptFileMapsToExitCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestInput(t, dir, 10_000)
+	var out bytes.Buffer
+	c, err := parseArgs([]string{"-c", in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.run(&out); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.ReadFile(in + ".prm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.prm")
+	if err := os.WriteFile(bad, faultinject.FlipBit(enc, len(enc)*4), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := parseArgs([]string{"verify", bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := v.run(&out)
+	if verr == nil {
+		t.Fatal("corrupt file verified clean")
+	}
+	if got := exitCode(verr); got != exitCorrupt {
+		t.Fatalf("verify failure maps to exit %d, want %d", got, exitCorrupt)
+	}
+}
+
+func TestCancelledRunMapsToExit130(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestInput(t, dir, 50_000)
+	c, err := parseArgs([]string{"-c", in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rerr := c.runCtx(ctx, &bytes.Buffer{})
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", rerr)
+	}
+	if got := exitCode(rerr); got != exitCancelled {
+		t.Fatalf("cancellation maps to exit %d, want %d", got, exitCancelled)
+	}
+}
+
+func TestGarbageDecompressMapsToExitCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.prm")
+	// A plausible-looking but corrupt core container magic.
+	if err := os.WriteFile(path, []byte("PRM2 not a container at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := parseArgs([]string{"-d", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := c.run(&bytes.Buffer{})
+	if rerr == nil {
+		t.Fatal("garbage accepted")
+	}
+	if got := exitCode(rerr); got != exitCorrupt {
+		t.Fatalf("corrupt container maps to exit %d, want %d", got, exitCorrupt)
+	}
+}

@@ -11,11 +11,19 @@
 // verify checks the CRC32C checksums and structure of any PRIMACY artifact
 // (core/parallel container, stream, or archive) and exits non-zero when
 // corruption is found; -d -salvage recovers what a damaged file still holds.
+//
+// Exit codes: 0 success, 1 operational failure, 2 corruption detected,
+// 64 usage error, 130 cancelled by SIGINT/SIGTERM (see -h).
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 func main() {
@@ -23,9 +31,18 @@ func main() {
 	log.SetPrefix("primacy: ")
 	c, err := parseArgs(os.Args[1:])
 	if err != nil {
-		log.Fatal(err)
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(exitOK)
+		}
+		log.Print(err)
+		os.Exit(exitUsage)
 	}
-	if err := c.run(os.Stdout); err != nil {
-		log.Fatal(err)
+	// SIGINT/SIGTERM cancel the context; long-running paths notice between
+	// chunks/shards/segments and unwind with ctx.Err().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := c.runCtx(ctx, os.Stdout); err != nil {
+		log.Print(err)
+		os.Exit(exitCode(err))
 	}
 }

@@ -24,14 +24,17 @@
 package archive
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 
+	"primacy/internal/bytesplit"
 	"primacy/internal/checksum"
 	"primacy/internal/core"
+	"primacy/internal/retry"
 )
 
 // Archive magics: v1 is the original checksum-less layout, v2 adds framed
@@ -72,40 +75,98 @@ type tocEntry struct {
 func entryHeaderLen(name string) int { return 4 + 2 + len(name) + 4 + 8 + 4 }
 
 // Writer appends variables to an archive. Not safe for concurrent use.
+//
+// Failure semantics: the first error returned by PutFloat64s or Close is
+// sticky — every later call returns the same error, and nothing more is
+// written (a torn entry is never followed by more data that a TOC would
+// then mis-describe). A successful Close is idempotent.
 type Writer struct {
+	ctx    context.Context
 	dst    io.Writer
 	opts   core.Options
 	pos    uint64
 	toc    []tocEntry
 	closed bool
+	err    error
+}
+
+// WriterOptions bundles the archive writer's robustness knobs on top of the
+// codec options.
+type WriterOptions struct {
+	// Core configures the codec used for every entry.
+	Core core.Options
+	// Retry, when enabled, retries transient sink-write failures with
+	// backoff before the writer goes sticky-failed.
+	Retry retry.Policy
 }
 
 // NewWriter starts an archive on dst with the given codec options.
 func NewWriter(dst io.Writer, opts core.Options) (*Writer, error) {
+	return NewWriterWith(context.Background(), dst, WriterOptions{Core: opts})
+}
+
+// NewWriterCtx is NewWriter with cancellation: ctx is checked before each
+// entry is compressed and emitted.
+func NewWriterCtx(ctx context.Context, dst io.Writer, opts core.Options) (*Writer, error) {
+	return NewWriterWith(ctx, dst, WriterOptions{Core: opts})
+}
+
+// NewWriterWith is the fully-configured constructor: cancellation via ctx
+// and transient-sink retries via wopts.Retry.
+func NewWriterWith(ctx context.Context, dst io.Writer, wopts WriterOptions) (*Writer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if wopts.Retry.Enabled() {
+		dst = retry.NewWriter(ctx, dst, wopts.Retry)
+	}
 	n, err := dst.Write([]byte(magicV2))
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{dst: dst, opts: opts, pos: uint64(n)}, nil
+	return &Writer{ctx: ctx, dst: dst, opts: wopts.Core, pos: uint64(n)}, nil
 }
 
 // PutFloat64s writes one variable for one timestep.
 func (w *Writer) PutFloat64s(name string, step int, values []float64) error {
+	if w.err != nil {
+		return w.err
+	}
 	if w.closed {
 		return errors.New("archive: put after Close")
 	}
+	if err := w.put(name, step, values); err != nil {
+		// Validation failures (bad name, negative step, duplicate entry)
+		// leave the sink untouched and the writer usable; anything that may
+		// have reached the sink is sticky.
+		if !errors.Is(err, errEntryInvalid) {
+			w.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+// errEntryInvalid marks argument-validation failures that never touch the
+// sink, so they do not poison the writer.
+var errEntryInvalid = errors.New("archive: invalid entry")
+
+func (w *Writer) put(name string, step int, values []float64) error {
 	if len(name) == 0 || len(name) > 65535 {
-		return fmt.Errorf("archive: variable name length %d out of range", len(name))
+		return fmt.Errorf("%w: variable name length %d out of range", errEntryInvalid, len(name))
 	}
 	if step < 0 {
-		return fmt.Errorf("archive: negative step %d", step)
+		return fmt.Errorf("%w: negative step %d", errEntryInvalid, step)
 	}
 	for _, e := range w.toc {
 		if e.Name == name && e.Step == uint32(step) {
-			return fmt.Errorf("archive: duplicate entry %s@%d", name, step)
+			return fmt.Errorf("%w: duplicate entry %s@%d", errEntryInvalid, name, step)
 		}
 	}
-	enc, err := core.CompressFloat64s(values, w.opts)
+	if err := w.ctx.Err(); err != nil {
+		return err
+	}
+	enc, err := core.CompressCtx(w.ctx, bytesplit.Float64sToBytes(values), w.opts)
 	if err != nil {
 		return err
 	}
@@ -141,10 +202,27 @@ func (w *Writer) PutFloat64s(name string, step int, values []float64) error {
 	return nil
 }
 
-// Close writes the table of contents and the trailer.
+// Close writes the table of contents and the trailer. A successful Close is
+// idempotent; a failed Close leaves the writer sticky-failed, and later
+// calls return the same error instead of appending a second partial TOC.
 func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
 	if w.closed {
 		return nil
+	}
+	if err := w.close(); err != nil {
+		w.err = err
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+func (w *Writer) close() error {
+	if err := w.ctx.Err(); err != nil {
+		return err
 	}
 	tocOffset := w.pos
 	var buf []byte
@@ -170,11 +248,8 @@ func (w *Writer) Close() error {
 	binary.LittleEndian.PutUint64(u64[:], tocOffset)
 	buf = append(buf, u64[:]...)
 	buf = append(buf, magicV2...)
-	if _, err := w.dst.Write(buf); err != nil {
-		return err
-	}
-	w.closed = true
-	return nil
+	_, err := w.dst.Write(buf)
+	return err
 }
 
 // Reader opens archives for random access via io.ReaderAt.

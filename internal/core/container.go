@@ -178,7 +178,7 @@ func Frame(data []byte) (encLen, rawLen, version int, err error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		if len(rec) < minChunkRecLen {
+		if len(rec) < rawChunkRecLen || (rec[4] != rawChunkFlag && len(rec) < minChunkRecLen) {
 			return 0, 0, 0, fmt.Errorf("%w: chunk record %d bytes", ErrCorrupt, len(rec))
 		}
 		crl := int(binary.LittleEndian.Uint32(rec))

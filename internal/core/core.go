@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -144,6 +145,11 @@ type Stats struct {
 	// SolverInputBytes is how many bytes were handed to the solver
 	// (α1·C + α2·(1-α1)·C summed over chunks).
 	SolverInputBytes int
+	// DegradedChunks counts chunks stored raw-passthrough because the
+	// solver faulted (error or panic) while compressing them. Zero on a
+	// healthy run; a non-zero value means the container is complete and
+	// decompressible, but those chunks carry no compression.
+	DegradedChunks int
 }
 
 // PrecThroughput reports raw preconditioner throughput in bytes/second.
@@ -238,6 +244,13 @@ func Compress(data []byte, opts Options) ([]byte, error) {
 	return c.Compress(data, opts)
 }
 
+// CompressCtx is Compress with cancellation: ctx is checked between chunks,
+// so a cancelled call returns ctx.Err() within one chunk boundary.
+func CompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, error) {
+	var c Codec
+	return c.CompressCtx(ctx, data, opts)
+}
+
 // Compress is the Codec variant of the package-level Compress; output is
 // byte-identical, but scratch persists across calls.
 func (c *Codec) Compress(data []byte, opts Options) ([]byte, error) {
@@ -245,9 +258,21 @@ func (c *Codec) Compress(data []byte, opts Options) ([]byte, error) {
 	return out, err
 }
 
+// CompressCtx is the Codec variant of the package-level CompressCtx.
+func (c *Codec) CompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, error) {
+	out, _, err := c.CompressWithStatsCtx(ctx, data, opts)
+	return out, err
+}
+
 // Decompress is the Codec variant of the package-level Decompress.
 func (c *Codec) Decompress(data []byte) ([]byte, error) {
 	out, _, err := c.DecompressWithStats(data)
+	return out, err
+}
+
+// DecompressCtx is the Codec variant of the package-level DecompressCtx.
+func (c *Codec) DecompressCtx(ctx context.Context, data []byte) ([]byte, error) {
+	out, _, err := c.DecompressWithStatsCtx(ctx, data)
 	return out, err
 }
 
@@ -281,10 +306,25 @@ func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
 // CompressWithStats is the Codec variant of the package-level
 // CompressWithStats.
 func (c *Codec) CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
+	return c.CompressWithStatsCtx(context.Background(), data, opts)
+}
+
+// CompressWithStatsCtx is CompressWithStats with cancellation (checked
+// between chunks) and degraded-mode fault tolerance: a chunk whose solver
+// faults — an error or a panic — is stored raw-passthrough instead of
+// failing the call, and Stats.DegradedChunks reports how many chunks took
+// that path. Input-validation errors (bad length, unknown solver or
+// mapping) still fail up front.
+func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Options) ([]byte, Stats, error) {
 	var stats Stats
 	lay, err := opts.Precision.layout()
 	if err != nil {
 		return nil, stats, err
+	}
+	switch opts.Mapping {
+	case MapRanked, MapIdentity:
+	default:
+		return nil, stats, fmt.Errorf("core: unknown mapping %d", opts.Mapping)
 	}
 	if len(data)%lay.ElemBytes != 0 {
 		return nil, stats, fmt.Errorf("%w: %d %% %d", ErrBadInput, len(data), lay.ElemBytes)
@@ -326,9 +366,18 @@ func (c *Codec) CompressWithStats(data []byte, opts Options) ([]byte, Stats, err
 		alpha2Sum float64
 	)
 	for _, chunk := range chunks {
-		enc, ci, err := compressChunk(chunk, sv, opts, lay, prevIndex, &c.sc)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, stats, err
+		}
+		enc, ci, err := compressChunkSafe(chunk, sv, opts, lay, prevIndex, &c.sc)
+		if err != nil {
+			// Degraded mode: the solver faulted on this chunk (error or
+			// panic). Store the chunk raw so the container stays complete
+			// and decompressible; the fault is visible via DegradedChunks.
+			// The compress-side prevIndex is left untouched, matching the
+			// decode side where a raw record passes the live index through.
+			enc, ci = appendRawChunkRecord(&c.sc, chunk), chunkInfo{index: prevIndex}
+			stats.DegradedChunks++
 		}
 		prevIndex = ci.index
 		var sz [4]byte
@@ -568,6 +617,13 @@ func Decompress(data []byte) ([]byte, error) {
 	return out, err
 }
 
+// DecompressCtx is Decompress with cancellation: ctx is checked between
+// chunks, so a cancelled call returns ctx.Err() within one chunk boundary.
+func DecompressCtx(ctx context.Context, data []byte) ([]byte, error) {
+	var c Codec
+	return c.DecompressCtx(ctx, data)
+}
+
 // DecompressWithStats decompresses and reports read-side stage timing. Both
 // container versions are accepted; v2 inputs have their header and per-chunk
 // CRC32C checksums verified, and any mismatch fails the decode with an error
@@ -580,6 +636,12 @@ func DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
 // DecompressWithStats is the Codec variant of the package-level
 // DecompressWithStats.
 func (c *Codec) DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
+	return c.DecompressWithStatsCtx(context.Background(), data)
+}
+
+// DecompressWithStatsCtx is DecompressWithStats with cancellation, checked
+// between chunks.
+func (c *Codec) DecompressWithStatsCtx(ctx context.Context, data []byte) ([]byte, DecompStats, error) {
 	var ds DecompStats
 	h, err := parseHeader(data)
 	if err != nil {
@@ -603,6 +665,9 @@ func (c *Codec) DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
 	pos := h.end
 	var prevIndex *freq.Index
 	for uint64(len(out)) < h.total {
+		if err := ctx.Err(); err != nil {
+			return nil, ds, err
+		}
 		rec, next, err := h.frame(data, pos)
 		if err != nil {
 			return nil, ds, err
@@ -657,8 +722,19 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 	if pos >= len(rec) {
 		return nil, nil, fmt.Errorf("%w: missing index flag", ErrCorrupt)
 	}
-	hasIndex := rec[pos] == 1
+	flag := rec[pos]
 	pos++
+	if flag == rawChunkFlag {
+		// Degraded raw-passthrough record: the payload is the chunk itself,
+		// stored when the solver faulted at compression time. The live
+		// index passes through untouched for later IndexReuse chunks.
+		if len(rec)-pos != rawLen {
+			return nil, nil, fmt.Errorf("%w: raw chunk claims %d bytes, record holds %d",
+				ErrCorrupt, rawLen, len(rec)-pos)
+		}
+		return rec[pos:], prev, nil
+	}
+	hasIndex := flag == 1
 	idx := prev
 	if hasIndex {
 		ilen, err := readU32()

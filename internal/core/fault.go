@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime/debug"
+
+	"primacy/internal/bytesplit"
+	"primacy/internal/freq"
+	"primacy/internal/solver"
+)
+
+// rawChunkFlag marks a chunk record that stores its payload uncompressed.
+// It lives in the byte position of the has-index flag (0 = no index,
+// 1 = index present), so pre-existing containers — which only ever wrote 0
+// or 1 — decode exactly as before. The compressor emits raw records only in
+// degraded mode, when a solver fault (error or panic) made the normal
+// pipeline unusable for one chunk; failing the whole call would throw away
+// every healthy chunk around it (the ISOBAR no-waste principle applied to
+// faults instead of incompressibility).
+const rawChunkFlag = 2
+
+// rawChunkRecLen is the framing overhead of a raw chunk record: rawLen u32 +
+// flag byte.
+const rawChunkRecLen = 5
+
+// PanicError is a panic recovered from a codec or worker path, converted
+// into an ordinary error so one faulting chunk or shard cannot crash the
+// process hosting the compressor.
+type PanicError struct {
+	// Op names the path that panicked (e.g. "compress chunk").
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: panic in %s: %v", e.Op, e.Value)
+}
+
+// compressChunkSafe runs compressChunk, converting a panic into a
+// *PanicError so the caller can degrade instead of crashing.
+func compressChunkSafe(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch) (enc []byte, ci chunkInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			enc, ci = nil, chunkInfo{}
+			err = &PanicError{Op: "compress chunk", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return compressChunk(chunk, sv, opts, lay, prev, sc)
+}
+
+// appendRawChunkRecord encodes chunk as a degraded raw-passthrough record
+// into sc.enc: rawLen u32 | rawChunkFlag | chunk bytes. The record aliases
+// sc.enc like every other chunk record.
+func appendRawChunkRecord(sc *scratch, chunk []byte) []byte {
+	enc := capSlice(sc.enc, rawChunkRecLen+len(chunk))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunk)))
+	enc = append(enc, u32[:]...)
+	enc = append(enc, rawChunkFlag)
+	enc = append(enc, chunk...)
+	sc.enc = enc
+	return enc
+}

@@ -2,26 +2,43 @@ package core
 
 import (
 	"bytes"
-	"errors"
 	"testing"
 
+	"primacy/internal/bytesplit"
 	"primacy/internal/faultinject"
 )
 
-// The injected-solver tests verify the codec propagates solver errors
-// instead of emitting corrupt containers. The fault-injecting solver itself
-// lives in internal/faultinject, shared with the other container formats.
+// The injected-solver tests verify the codec's fault behaviour: a
+// compression-side solver fault degrades the affected chunks to raw
+// passthrough (never a corrupt or incomplete container), while decode-side
+// faults propagate as errors. The fault-injecting solver itself lives in
+// internal/faultinject, shared with the other container formats.
 
-func TestCompressSolverFailurePropagates(t *testing.T) {
+func TestCompressSolverFailureDegradesToRaw(t *testing.T) {
 	f, err := faultinject.New("faulty-c", "zlib")
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.FailCompress = true
 	raw := syntheticDoubles(1_000, 50)
-	_, err = CompressFloat64s(raw, Options{Solver: "faulty-c"})
-	if !errors.Is(err, faultinject.ErrInjected) {
-		t.Fatalf("want injected error, got %v", err)
+	enc, stats, err := CompressWithStats(bytesplit.Float64sToBytes(raw), Options{Solver: "faulty-c"})
+	if err != nil {
+		t.Fatalf("solver fault must degrade, not fail: %v", err)
+	}
+	if stats.DegradedChunks == 0 || stats.DegradedChunks != stats.Chunks {
+		t.Fatalf("want every chunk degraded, got %d of %d", stats.DegradedChunks, stats.Chunks)
+	}
+	// The degraded container stores chunks raw and must decode bit-exactly
+	// without touching the (still broken) solver's decompress path.
+	f.FailDecompress = true
+	dec, err := DecompressFloat64s(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		if dec[i] != raw[i] {
+			t.Fatalf("value %d mismatch after degraded round trip", i)
+		}
 	}
 }
 

@@ -53,7 +53,7 @@ func NewChunkReader(data []byte) (*ChunkReader, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(rec) < minChunkRecLen {
+		if len(rec) < rawChunkRecLen || (rec[4] != rawChunkFlag && len(rec) < minChunkRecLen) {
 			return nil, fmt.Errorf("%w: chunk record %d bytes", ErrCorrupt, len(rec))
 		}
 		rawLen := int(binary.LittleEndian.Uint32(rec))
@@ -101,8 +101,9 @@ func (r *ChunkReader) DecodeChunk(i int) ([]byte, error) {
 	}
 	off := r.offsets[i]
 	rec := r.data[off[0]:off[1]]
-	// rec[4] is the has-index flag (after the raw length).
-	if len(rec) >= 5 && rec[4] != 1 && r.mapping == MapRanked {
+	// rec[4] is the has-index flag (after the raw length); raw-passthrough
+	// records (rawChunkFlag) are self-contained and need no index.
+	if len(rec) >= 5 && rec[4] == 0 && r.mapping == MapRanked {
 		return nil, fmt.Errorf("core: chunk %d has no index (IndexReuse container); decode sequentially", i)
 	}
 	var ds DecompStats

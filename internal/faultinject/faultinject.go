@@ -8,6 +8,9 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
 
 	"primacy/internal/solver"
 )
@@ -157,6 +160,126 @@ func (s *Solver) Compress(src []byte) ([]byte, error) {
 func (s *Solver) Decompress(src []byte) ([]byte, error) {
 	if s.FailDecompress {
 		return nil, ErrInjected
+	}
+	return s.Inner.Decompress(src)
+}
+
+// ErrTransient is the retryable fault returned by FlakyWriter / FlakyReader —
+// the EAGAIN-class failure a staging transport produces under load.
+var ErrTransient = errors.New("faultinject: transient I/O fault")
+
+// FlakyWriter fails every FailEvery-th Write call with ErrTransient before
+// writing anything (the sink consumes no bytes on a failed call, so a retry
+// never duplicates data). With FailFrom > 0 every call after the first
+// FailFrom successful writes fails permanently — a sink that dies mid-stream.
+// Safe for concurrent use.
+type FlakyWriter struct {
+	W io.Writer
+	// FailEvery makes every Nth call fail transiently (0 disables).
+	FailEvery int
+	// FailFrom kills the sink after N successful Write calls (0 disables).
+	FailFrom int
+	calls    atomic.Int64
+	ok       atomic.Int64
+}
+
+// Write implements io.Writer with injected faults.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	if f.FailFrom > 0 && f.ok.Load() >= int64(f.FailFrom) {
+		return 0, fmt.Errorf("faultinject: sink dead after %d writes", f.FailFrom)
+	}
+	n := f.calls.Add(1)
+	if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+		return 0, ErrTransient
+	}
+	f.ok.Add(1)
+	return f.W.Write(p)
+}
+
+// FlakyReader fails every FailEvery-th Read call with ErrTransient without
+// consuming input, and with FailFrom > 0 dies permanently after FailFrom
+// successful reads — a source that drops mid-segment. Safe for concurrent
+// use.
+type FlakyReader struct {
+	R io.Reader
+	// FailEvery makes every Nth call fail transiently (0 disables).
+	FailEvery int
+	// FailFrom kills the source after N successful Read calls (0 disables).
+	FailFrom int
+	calls    atomic.Int64
+	ok       atomic.Int64
+}
+
+// Read implements io.Reader with injected faults.
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if f.FailFrom > 0 && f.ok.Load() >= int64(f.FailFrom) {
+		return 0, fmt.Errorf("faultinject: source dead after %d reads", f.FailFrom)
+	}
+	n := f.calls.Add(1)
+	if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+		return 0, ErrTransient
+	}
+	f.ok.Add(1)
+	return f.R.Read(p)
+}
+
+// SlowWriter delays every Write by Delay — the back-pressured sink that makes
+// cancellation latency observable. Safe for concurrent use.
+type SlowWriter struct {
+	W     io.Writer
+	Delay time.Duration
+}
+
+// Write implements io.Writer with an injected stall.
+func (s *SlowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.W.Write(p)
+}
+
+// PanickySolver wraps a registered compressor and panics on selected calls —
+// the worker-fault injector for testing that codec and pipeline paths
+// contain panics instead of crashing the process. Register it with
+// solver.Register and select it by name through core.Options. Safe for
+// concurrent use (pipeline workers share one instance).
+type PanickySolver struct {
+	// SolverName is the registry key for this instance.
+	SolverName string
+	// Inner performs the real work.
+	Inner solver.Compressor
+	// PanicEvery makes every Nth Compress call panic (0 disables).
+	PanicEvery int
+	// PanicDecompress panics on every Decompress call.
+	PanicDecompress bool
+	calls           atomic.Int64
+}
+
+// NewPanicky returns a panic-injecting wrapper around the named registered
+// solver (the wrapper itself is registered under wrapperName).
+func NewPanicky(wrapperName, innerName string) (*PanickySolver, error) {
+	inner, err := solver.Get(innerName)
+	if err != nil {
+		return nil, err
+	}
+	s := &PanickySolver{SolverName: wrapperName, Inner: inner}
+	solver.Register(s)
+	return s, nil
+}
+
+// Name implements solver.Compressor.
+func (s *PanickySolver) Name() string { return s.SolverName }
+
+// Compress implements solver.Compressor, panicking on selected calls.
+func (s *PanickySolver) Compress(src []byte) ([]byte, error) {
+	if s.PanicEvery > 0 && s.calls.Add(1)%int64(s.PanicEvery) == 0 {
+		panic("faultinject: injected compress panic")
+	}
+	return s.Inner.Compress(src)
+}
+
+// Decompress implements solver.Compressor, panicking when armed.
+func (s *PanickySolver) Decompress(src []byte) ([]byte, error) {
+	if s.PanicDecompress {
+		panic("faultinject: injected decompress panic")
 	}
 	return s.Inner.Decompress(src)
 }

@@ -7,14 +7,17 @@
 package pipeline
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"primacy/internal/checksum"
 	"primacy/internal/core"
+	"primacy/internal/governor"
 )
 
 // Container magics. v1 frames each shard with a bare u32 length; v2 adds a
@@ -43,7 +46,28 @@ type Options struct {
 	// ShardBytes is the per-shard input size (0 = one chunk-multiple shard
 	// per worker, at least one chunk each).
 	ShardBytes int
+	// Governor, when non-nil, gates each shard's admission against a shared
+	// memory/concurrency budget: under a burst of large inputs workers queue
+	// at the gate instead of holding every shard's scratch at once.
+	Governor *governor.Governor
 }
+
+// ShardError attributes a worker failure to one shard of the parallel
+// container. Recovered worker panics arrive wrapped in *core.PanicError, so
+// a faulting shard degrades to a structured error instead of crashing the
+// process.
+type ShardError struct {
+	// Shard is the zero-based shard index.
+	Shard int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("pipeline: shard %d: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
 
 func (o Options) workers() int {
 	if o.Workers > 0 {
@@ -80,6 +104,15 @@ func (o Options) shardBytes(total, elemBytes int) int {
 // a core.Codec, so per-chunk scratch and pooled solver state are reused
 // across every shard that worker processes without cross-worker contention.
 func Compress(data []byte, opts Options) ([]byte, error) {
+	return CompressCtx(context.Background(), data, opts)
+}
+
+// CompressCtx is Compress with cancellation and resource governance: ctx is
+// checked before every shard is started and between the chunks inside each
+// shard, the first worker error cancels all remaining shards, worker panics
+// surface as *ShardError wrapping *core.PanicError, and opts.Governor (when
+// set) gates shard admission.
+func CompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, error) {
 	lay, err := opts.Core.Precision.Layout()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
@@ -98,14 +131,13 @@ func Compress(data []byte, opts Options) ([]byte, error) {
 		shards = append(shards, data[off:end])
 	}
 	outputs := make([][]byte, len(shards))
-	errs := make([]error, len(shards))
-	runShards(opts.workers(), len(shards), func(codec *core.Codec, i int) {
-		outputs[i], errs[i] = codec.Compress(shards[i], opts.Core)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err = runShards(ctx, opts, len(shards), func(ctx context.Context, codec *core.Codec, i int) error {
+		out, err := codec.CompressCtx(ctx, shards[i], opts.Core)
+		outputs[i] = out
+		return err
+	}, func(i int) int64 { return int64(len(shards[i])) })
+	if err != nil {
+		return nil, err
 	}
 	outLen := len(magicV2) + 4
 	for _, o := range outputs {
@@ -173,13 +205,31 @@ func splitShards(data []byte) (shards [][]byte, offsets []int, err error) {
 	return shards, offsets, nil
 }
 
-// runShards processes shard indices [0, n) on up to workers goroutines.
-// Each goroutine owns one core.Codec for its lifetime — per-worker scratch —
-// and pulls indices from a shared channel so stragglers balance out.
-func runShards(workers, n int, do func(codec *core.Codec, i int)) {
+// runShards processes shard indices [0, n) on up to opts.workers()
+// goroutines. Each goroutine owns one core.Codec for its lifetime —
+// per-worker scratch — and pulls indices from a shared channel so stragglers
+// balance out. Fault containment and governance happen here, once, for both
+// directions:
+//
+//   - ctx is checked before each shard starts; the feed loop stops as soon
+//     as the context is done, so cancellation takes effect within one shard.
+//   - the first shard error cancels the derived context, draining the
+//     remaining shards without running them; every worker goroutine exits
+//     before runShards returns.
+//   - a panic inside do is recovered into *core.PanicError, so one faulting
+//     shard yields a structured per-shard error instead of a crashed process.
+//   - opts.Governor, when set, admits each shard's weight before it runs.
+//
+// The returned error is the first shard failure in shard order (wrapped in
+// *ShardError), or ctx.Err() when the call was cancelled from outside.
+func runShards(ctx context.Context, opts Options, n int, do func(ctx context.Context, codec *core.Codec, i int) error, weight func(i int) int64) error {
+	workers := opts.workers()
 	if workers > n {
 		workers = n
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -188,35 +238,90 @@ func runShards(workers, n int, do func(codec *core.Codec, i int)) {
 			defer wg.Done()
 			var codec core.Codec
 			for i := range idxCh {
-				do(&codec, i)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := runShard(ctx, opts.Governor, &codec, i, do, weight); err != nil {
+					errs[i] = err
+					cancel()
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idxCh <- i
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			for j := i + 1; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(idxCh)
 	wg.Wait()
+	// Prefer the first real shard failure over cancellation noise: once one
+	// shard fails, every later shard reports context.Canceled, which would
+	// mask the root cause.
+	var ctxErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return &ShardError{Shard: i, Err: err}
+	}
+	return ctxErr
+}
+
+// runShard executes one shard under admission control and panic isolation.
+func runShard(ctx context.Context, gov *governor.Governor, codec *core.Codec, i int, do func(ctx context.Context, codec *core.Codec, i int) error, weight func(i int) int64) (err error) {
+	w := weight(i)
+	if err := gov.Acquire(ctx, w); err != nil {
+		return err
+	}
+	defer gov.Release(w)
+	defer func() {
+		if r := recover(); r != nil {
+			err = &core.PanicError{Op: fmt.Sprintf("shard %d", i), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return do(ctx, codec, i)
 }
 
 // Decompress reverses Compress using up to opts.workers() goroutines, each
 // owning a core.Codec with per-worker scratch.
 func Decompress(data []byte, opts Options) ([]byte, error) {
+	return DecompressCtx(context.Background(), data, opts)
+}
+
+// DecompressCtx is Decompress with cancellation and resource governance; see
+// CompressCtx for the semantics.
+func DecompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, error) {
 	shards, _, err := splitShards(data)
 	if err != nil {
 		return nil, err
 	}
 	outputs := make([][]byte, len(shards))
-	errs := make([]error, len(shards))
-	runShards(opts.workers(), len(shards), func(codec *core.Codec, i int) {
-		outputs[i], errs[i] = codec.Decompress(shards[i])
-	})
+	err = runShards(ctx, opts, len(shards), func(ctx context.Context, codec *core.Codec, i int) error {
+		out, err := codec.DecompressCtx(ctx, shards[i])
+		outputs[i] = out
+		return err
+	}, func(i int) int64 { return int64(len(shards[i])) })
+	if err != nil {
+		return nil, err
+	}
 	total := 0
-	for i, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-		total += len(outputs[i])
+	for _, o := range outputs {
+		total += len(o)
 	}
 	out := make([]byte, 0, total)
 	for _, o := range outputs {

@@ -1,0 +1,234 @@
+package retry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func TestZeroPolicyDisabled(t *testing.T) {
+	var p Policy
+	if p.Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return errTransient })
+	if err != errTransient || calls != 1 {
+		t.Fatalf("zero policy retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoRetriesWithExponentialBackoff(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		Attempts: 4,
+		Backoff:  10 * time.Millisecond,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on third try", err, calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff sequence %v, want %v", slept, want)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{Attempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return errTransient })
+	if err != errTransient || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want errTransient after 3 tries", err, calls)
+	}
+}
+
+func TestDoClassifyPermanent(t *testing.T) {
+	permanent := errors.New("permanent")
+	p := Policy{
+		Attempts: 5,
+		Classify: func(err error) bool { return errors.Is(err, errTransient) },
+		Sleep:    func(time.Duration) {},
+	}
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return permanent })
+	if err != permanent || calls != 1 {
+		t.Fatalf("permanent error retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoNeverRetriesContextErrors(t *testing.T) {
+	p := Policy{Attempts: 5, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return context.Canceled })
+	if err != context.Canceled || calls != 1 {
+		t.Fatalf("context error retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoStopsWhenContextDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 100, Sleep: func(time.Duration) { cancel() }}
+	calls := 0
+	err := p.Do(ctx, func() error { calls++; return errTransient })
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times after cancellation", calls)
+	}
+}
+
+// flakySink fails the first failN writes with a transient error, consuming
+// nothing, then accepts everything.
+type flakySink struct {
+	buf   bytes.Buffer
+	failN int
+	calls int
+}
+
+func (f *flakySink) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls <= f.failN {
+		return 0, errTransient
+	}
+	return f.buf.Write(p)
+}
+
+func TestWriterRetriesTransientFaults(t *testing.T) {
+	sink := &flakySink{failN: 2}
+	w := NewWriter(nil, sink, Policy{Attempts: 4, Sleep: func(time.Duration) {}})
+	n, err := w.Write([]byte("checkpoint"))
+	if err != nil || n != len("checkpoint") {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if got := sink.buf.String(); got != "checkpoint" {
+		t.Fatalf("sink holds %q", got)
+	}
+}
+
+// shortSink consumes half the buffer then fails transiently, once.
+type shortSink struct {
+	buf    bytes.Buffer
+	failed bool
+}
+
+func (s *shortSink) Write(p []byte) (int, error) {
+	if !s.failed {
+		s.failed = true
+		n, _ := s.buf.Write(p[:len(p)/2])
+		return n, errTransient
+	}
+	return s.buf.Write(p)
+}
+
+func TestWriterNeverDuplicatesConsumedBytes(t *testing.T) {
+	sink := &shortSink{}
+	w := NewWriter(nil, sink, Policy{Attempts: 3, Sleep: func(time.Duration) {}})
+	payload := []byte("0123456789")
+	n, err := w.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(sink.buf.Bytes(), payload) {
+		t.Fatalf("sink holds %q — partial-write bytes duplicated or lost", sink.buf.Bytes())
+	}
+}
+
+func TestWriterGivesUpOnPermanentError(t *testing.T) {
+	permanent := errors.New("disk gone")
+	w := NewWriter(nil, writerFunc(func(p []byte) (int, error) { return 0, permanent }),
+		Policy{Attempts: 3, Classify: func(error) bool { return false }, Sleep: func(time.Duration) {}})
+	if _, err := w.Write([]byte("x")); !errors.Is(err, permanent) {
+		t.Fatalf("got %v, want the permanent error", err)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// flakySource fails every other Read with a transient error, consuming
+// nothing on failed calls.
+type flakySource struct {
+	r     io.Reader
+	calls int
+}
+
+func (f *flakySource) Read(p []byte) (int, error) {
+	f.calls++
+	if f.calls%2 == 1 {
+		return 0, errTransient
+	}
+	return f.r.Read(p)
+}
+
+func TestReaderRetriesTransientFaults(t *testing.T) {
+	src := &flakySource{r: bytes.NewReader([]byte("segmented payload"))}
+	r := NewReader(nil, src, Policy{Attempts: 3, Sleep: func(time.Duration) {}})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "segmented payload" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+// partialSource returns data and a transient error from the same call.
+type partialSource struct {
+	done bool
+}
+
+func (p *partialSource) Read(b []byte) (int, error) {
+	if p.done {
+		return 0, io.EOF
+	}
+	p.done = true
+	n := copy(b, "abc")
+	return n, errTransient
+}
+
+func TestReaderDeliversPartialReadBeforeTransientError(t *testing.T) {
+	r := NewReader(nil, &partialSource{}, Policy{Attempts: 2, Sleep: func(time.Duration) {}})
+	buf := make([]byte, 16)
+	n, err := r.Read(buf)
+	if err != nil || string(buf[:n]) != "abc" {
+		t.Fatalf("n=%d err=%v data=%q — partial read dropped", n, err, buf[:n])
+	}
+}
+
+func TestReaderDoesNotRetryEOF(t *testing.T) {
+	src := bytes.NewReader([]byte("xy"))
+	calls := 0
+	r := NewReader(nil, readerFunc(func(p []byte) (int, error) {
+		calls++
+		return src.Read(p)
+	}), Policy{Attempts: 5, Sleep: func(time.Duration) {}})
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "xy" {
+		t.Fatalf("err=%v data=%q", err, got)
+	}
+	// ReadAll issues reads until EOF; the EOF itself must not be retried
+	// (5 attempts each would multiply the call count).
+	if calls > 3 {
+		t.Fatalf("source read %d times — EOF retried", calls)
+	}
+}
+
+type readerFunc func([]byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }

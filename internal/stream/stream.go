@@ -18,6 +18,7 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,6 +27,8 @@ import (
 	"primacy/internal/bytesplit"
 	"primacy/internal/checksum"
 	"primacy/internal/core"
+	"primacy/internal/governor"
+	"primacy/internal/retry"
 )
 
 // Stream magics: v1 is the original checksum-less layout, v2 adds a CRC32C
@@ -44,19 +47,56 @@ var ErrChecksum = errors.New("checksum mismatch")
 
 // Writer compresses data written to it and forwards segments to the
 // underlying writer. Not safe for concurrent use.
+//
+// Failure semantics: the first error returned by Write or Close is sticky —
+// every later Write or Close returns the same error, and nothing more is
+// written to the sink (a half-written stream is never silently extended).
+// A successful Close is idempotent.
 type Writer struct {
+	ctx        context.Context
 	dst        io.Writer
 	opts       core.Options
+	gov        *governor.Governor
+	codec      core.Codec
 	buf        []byte
 	chunkBytes int
 	stats      core.Stats
 	wroteMagic bool
 	closed     bool
+	err        error
+}
+
+// WriterOptions bundles the streaming compressor's robustness knobs on top
+// of the codec options.
+type WriterOptions struct {
+	// Core configures the codec (chunk size sets segment granularity).
+	Core core.Options
+	// Governor, when non-nil, admits each segment's buffered bytes before
+	// compression, bounding the in-flight memory of many concurrent streams
+	// sharing one governor.
+	Governor *governor.Governor
+	// Retry, when enabled, retries transient sink-write failures with
+	// backoff before the writer goes sticky-failed.
+	Retry retry.Policy
 }
 
 // NewWriter returns a streaming compressor. opts follows core.Options; the
 // chunk size also sets the segment granularity.
 func NewWriter(dst io.Writer, opts core.Options) (*Writer, error) {
+	return NewWriterWith(context.Background(), dst, WriterOptions{Core: opts})
+}
+
+// NewWriterCtx is NewWriter with cancellation: ctx is checked before each
+// segment is compressed and emitted.
+func NewWriterCtx(ctx context.Context, dst io.Writer, opts core.Options) (*Writer, error) {
+	return NewWriterWith(ctx, dst, WriterOptions{Core: opts})
+}
+
+// NewWriterWith is the fully-configured constructor: cancellation via ctx,
+// admission control via wopts.Governor, and transient-sink retries via
+// wopts.Retry.
+func NewWriterWith(ctx context.Context, dst io.Writer, wopts WriterOptions) (*Writer, error) {
+	opts := wopts.Core
 	lay, err := layoutFor(opts)
 	if err != nil {
 		return nil, err
@@ -69,7 +109,13 @@ func NewWriter(dst io.Writer, opts core.Options) (*Writer, error) {
 	if chunk < lay.ElemBytes {
 		return nil, fmt.Errorf("stream: chunk size %d below element size", opts.ChunkBytes)
 	}
-	return &Writer{dst: dst, opts: opts, chunkBytes: chunk}, nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if wopts.Retry.Enabled() {
+		dst = retry.NewWriter(ctx, dst, wopts.Retry)
+	}
+	return &Writer{ctx: ctx, dst: dst, opts: opts, gov: wopts.Governor, chunkBytes: chunk}, nil
 }
 
 func layoutFor(opts core.Options) (bytesplit.Layout, error) {
@@ -80,14 +126,19 @@ func layoutFor(opts core.Options) (bytesplit.Layout, error) {
 	return lay, nil
 }
 
-// Write buffers p and emits full segments as they fill.
+// Write buffers p and emits full segments as they fill. After any failure
+// the writer is sticky-failed: the error is returned again on every call.
 func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
 	if w.closed {
 		return 0, errors.New("stream: write after Close")
 	}
 	w.buf = append(w.buf, p...)
 	for len(w.buf) >= w.chunkBytes {
 		if err := w.emit(w.buf[:w.chunkBytes]); err != nil {
+			w.err = err
 			return 0, err
 		}
 		w.buf = w.buf[w.chunkBytes:]
@@ -96,13 +147,20 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 func (w *Writer) emit(chunk []byte) error {
+	if err := w.ctx.Err(); err != nil {
+		return err
+	}
+	if err := w.gov.Acquire(w.ctx, int64(len(chunk))); err != nil {
+		return err
+	}
+	defer w.gov.Release(int64(len(chunk)))
 	if !w.wroteMagic {
 		if _, err := w.dst.Write([]byte(magicV2)); err != nil {
 			return err
 		}
 		w.wroteMagic = true
 	}
-	enc, st, err := core.CompressWithStats(chunk, w.opts)
+	enc, st, err := w.codec.CompressWithStatsCtx(w.ctx, chunk, w.opts)
 	if err != nil {
 		return err
 	}
@@ -122,6 +180,7 @@ func (w *Writer) accumulate(st core.Stats) {
 	w.stats.RawBytes += st.RawBytes
 	w.stats.CompressedBytes += st.CompressedBytes
 	w.stats.Chunks += st.Chunks
+	w.stats.DegradedChunks += st.DegradedChunks
 	w.stats.IndexBytes += st.IndexBytes
 	w.stats.IndexesEmitted += st.IndexesEmitted
 	w.stats.PrecSeconds += st.PrecSeconds
@@ -139,11 +198,26 @@ func (w *Writer) accumulate(st core.Stats) {
 }
 
 // Close flushes any buffered partial chunk and writes the end marker.
-// The residue must be element-aligned or Close fails.
+// The residue must be element-aligned or Close fails. A successful Close is
+// idempotent; a failed Close leaves the writer sticky-failed, and later
+// Close or Write calls return the same error instead of emitting anything
+// more into the half-written stream.
 func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
 	if w.closed {
 		return nil
 	}
+	if err := w.close(); err != nil {
+		w.err = err
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+func (w *Writer) close() error {
 	if len(w.buf) > 0 {
 		if err := w.emit(w.buf); err != nil {
 			return err
@@ -157,11 +231,8 @@ func (w *Writer) Close() error {
 		w.wroteMagic = true
 	}
 	var end [4]byte
-	if _, err := w.dst.Write(end[:]); err != nil {
-		return err
-	}
-	w.closed = true
-	return nil
+	_, err := w.dst.Write(end[:])
+	return err
 }
 
 // Stats reports accumulated compression statistics (valid any time).
@@ -170,6 +241,7 @@ func (w *Writer) Stats() core.Stats { return w.stats }
 // Reader decompresses a stream produced by Writer (either format version).
 // Not safe for concurrent use.
 type Reader struct {
+	ctx     context.Context
 	src     io.Reader
 	pending []byte
 	started bool
@@ -188,7 +260,17 @@ type Reader struct {
 
 // NewReader returns a streaming decompressor over src.
 func NewReader(src io.Reader) *Reader {
-	return &Reader{src: src}
+	return &Reader{ctx: context.Background(), src: src}
+}
+
+// NewReaderCtx is NewReader with cancellation: ctx is checked before each
+// segment is read and decoded, so a cancelled Read returns ctx.Err() within
+// one segment boundary.
+func NewReaderCtx(ctx context.Context, src io.Reader) *Reader {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Reader{ctx: ctx, src: src}
 }
 
 // NewSalvageReader returns a decompressor that recovers as much of a
@@ -200,7 +282,7 @@ func NewReader(src io.Reader) *Reader {
 // lost. Salvage buffers the stream in memory, so it is meant for recovery
 // jobs, not steady-state decoding.
 func NewSalvageReader(src io.Reader) *Reader {
-	return &Reader{src: src, salvage: true, report: &core.CorruptionReport{}}
+	return &Reader{ctx: context.Background(), src: src, salvage: true, report: &core.CorruptionReport{}}
 }
 
 // Report returns the corruption report accumulated by a salvage reader
@@ -216,6 +298,14 @@ func (r *Reader) Read(p []byte) (int, error) {
 		if r.done {
 			r.err = io.EOF
 			return 0, io.EOF
+		}
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				// Cancellation is not sticky: the stream itself is fine, so
+				// a caller with a fresh deadline can resume where it left
+				// off.
+				return 0, err
+			}
 		}
 		fill := r.fill
 		if r.salvage {

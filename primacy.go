@@ -21,15 +21,18 @@ package primacy
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
 	"primacy/internal/archive"
 	"primacy/internal/core"
 	"primacy/internal/datagen"
+	"primacy/internal/governor"
 	"primacy/internal/hpcsim"
 	"primacy/internal/model"
 	"primacy/internal/pipeline"
+	"primacy/internal/retry"
 	"primacy/internal/stream"
 )
 
@@ -76,6 +79,15 @@ func Compress(data []byte, opts Options) ([]byte, error) {
 	return core.Compress(data, opts)
 }
 
+// CompressCtx is Compress with cancellation: ctx is checked between chunks,
+// so a cancelled or timed-out call returns ctx.Err() within one chunk
+// boundary. It also carries the codec's degraded mode: a chunk whose solver
+// faults (error or panic) is stored raw-passthrough instead of failing the
+// call — see Stats.DegradedChunks.
+func CompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, error) {
+	return core.CompressCtx(ctx, data, opts)
+}
+
 // CompressWithStats is Compress plus measured model parameters.
 func CompressWithStats(data []byte, opts Options) ([]byte, Stats, error) {
 	return core.CompressWithStats(data, opts)
@@ -89,6 +101,11 @@ func CompressFloat64s(values []float64, opts Options) ([]byte, error) {
 // Decompress reverses Compress.
 func Decompress(data []byte) ([]byte, error) {
 	return core.Decompress(data)
+}
+
+// DecompressCtx is Decompress with cancellation, checked between chunks.
+func DecompressCtx(ctx context.Context, data []byte) ([]byte, error) {
+	return core.DecompressCtx(ctx, data)
 }
 
 // DecompressWithStats is Decompress plus read-side stage timing.
@@ -150,9 +167,66 @@ func ParallelCompress(data []byte, opts ParallelOptions) ([]byte, error) {
 	return pipeline.Compress(data, opts)
 }
 
+// ParallelCompressCtx is ParallelCompress with cancellation and resource
+// governance: ctx is checked before each shard starts and between the
+// chunks inside each shard, the first worker failure cancels the remaining
+// shards, worker panics surface as *ShardError wrapping *PanicError, and
+// opts.Governor (when set) bounds in-flight memory and concurrency.
+func ParallelCompressCtx(ctx context.Context, data []byte, opts ParallelOptions) ([]byte, error) {
+	return pipeline.CompressCtx(ctx, data, opts)
+}
+
 // ParallelDecompress reverses ParallelCompress.
 func ParallelDecompress(data []byte, opts ParallelOptions) ([]byte, error) {
 	return pipeline.Decompress(data, opts)
+}
+
+// ParallelDecompressCtx is ParallelDecompress with cancellation and
+// resource governance; see ParallelCompressCtx.
+func ParallelDecompressCtx(ctx context.Context, data []byte, opts ParallelOptions) ([]byte, error) {
+	return pipeline.DecompressCtx(ctx, data, opts)
+}
+
+// ShardError attributes a parallel-path failure to one shard.
+type ShardError = pipeline.ShardError
+
+// PanicError is a worker or codec panic recovered into a structured error,
+// so one faulting chunk or shard can never crash the process hosting the
+// compressor.
+type PanicError = core.PanicError
+
+// Governor admits units of work against an in-flight memory budget and a
+// concurrency cap, so a burst of large inputs degrades to queuing at the
+// admission gate instead of unbounded allocation. Share one Governor across
+// the parallel and stream paths that contend for the same node. A nil
+// *Governor admits everything.
+type Governor = governor.Governor
+
+// NewGovernor returns a Governor enforcing the given budgets: memBudget
+// caps total admitted input bytes, maxConcurrent caps concurrent
+// admissions; zero disables the respective limit.
+func NewGovernor(memBudget int64, maxConcurrent int) *Governor {
+	return governor.New(memBudget, maxConcurrent)
+}
+
+// RetryPolicy retries transient sink/source I/O failures with exponential
+// backoff: up to Attempts tries, sleeping Backoff, 2·Backoff, ... between
+// them, retrying only errors Classify accepts (nil Classify retries
+// everything except context cancellation). The zero value performs no
+// retries.
+type RetryPolicy = retry.Policy
+
+// NewRetryWriter wraps w so transient write failures are retried under the
+// policy; bytes the sink already consumed are never re-sent. ctx bounds
+// retry waits.
+func NewRetryWriter(ctx context.Context, w io.Writer, p RetryPolicy) io.Writer {
+	return retry.NewWriter(ctx, w, p)
+}
+
+// NewRetryReader wraps r so transient read failures are retried under the
+// policy. ctx bounds retry waits.
+func NewRetryReader(ctx context.Context, r io.Reader, p RetryPolicy) io.Reader {
+	return retry.NewReader(ctx, r, p)
 }
 
 // ParallelDecompressSalvage recovers as much of a damaged parallel
@@ -173,9 +247,32 @@ func NewStreamWriter(dst io.Writer, opts Options) (*StreamWriter, error) {
 	return stream.NewWriter(dst, opts)
 }
 
+// StreamWriterOptions bundles the streaming compressor's robustness knobs:
+// codec options plus an optional Governor (segment admission control) and
+// RetryPolicy (transient sink-failure retries).
+type StreamWriterOptions = stream.WriterOptions
+
+// NewStreamWriterCtx is NewStreamWriter with cancellation, checked before
+// each segment is compressed and emitted.
+func NewStreamWriterCtx(ctx context.Context, dst io.Writer, opts Options) (*StreamWriter, error) {
+	return stream.NewWriterCtx(ctx, dst, opts)
+}
+
+// NewStreamWriterWith is the fully-configured streaming compressor:
+// cancellation via ctx, admission control and sink retries via wopts.
+func NewStreamWriterWith(ctx context.Context, dst io.Writer, wopts StreamWriterOptions) (*StreamWriter, error) {
+	return stream.NewWriterWith(ctx, dst, wopts)
+}
+
 // NewStreamReader returns a streaming decompressor over src.
 func NewStreamReader(src io.Reader) *StreamReader {
 	return stream.NewReader(src)
+}
+
+// NewStreamReaderCtx is NewStreamReader with cancellation, checked before
+// each segment is read and decoded.
+func NewStreamReaderCtx(ctx context.Context, src io.Reader) *StreamReader {
+	return stream.NewReaderCtx(ctx, src)
 }
 
 // NewSalvageStreamReader returns a stream decompressor that skips damaged
@@ -214,6 +311,22 @@ type ArchiveReader = archive.Reader
 // NewArchiveWriter starts an archive on dst.
 func NewArchiveWriter(dst io.Writer, opts Options) (*ArchiveWriter, error) {
 	return archive.NewWriter(dst, opts)
+}
+
+// ArchiveWriterOptions bundles the archive writer's robustness knobs: codec
+// options plus an optional RetryPolicy for transient sink failures.
+type ArchiveWriterOptions = archive.WriterOptions
+
+// NewArchiveWriterCtx is NewArchiveWriter with cancellation, checked before
+// each entry is compressed and emitted.
+func NewArchiveWriterCtx(ctx context.Context, dst io.Writer, opts Options) (*ArchiveWriter, error) {
+	return archive.NewWriterCtx(ctx, dst, opts)
+}
+
+// NewArchiveWriterWith is the fully-configured archive writer: cancellation
+// via ctx, sink retries via wopts.
+func NewArchiveWriterWith(ctx context.Context, dst io.Writer, wopts ArchiveWriterOptions) (*ArchiveWriter, error) {
+	return archive.NewWriterWith(ctx, dst, wopts)
 }
 
 // NewArchiveReader parses an archive's table of contents for random access.
