@@ -7,7 +7,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"primacy"
 	"primacy/internal/archive"
@@ -33,7 +36,13 @@ const usageText = `usage:
   primacy -c [-solver zlib] [-chunk N] [-workers N] [-o out.prm] input.f64
   primacy -d [-salvage] [-workers N] [-o out.f64] input.prm
   primacy -stats input.f64
+  primacy stats [-workers N] [-metrics-addr host:port] input.f64
   primacy verify file.prm
+
+stats compresses the input with telemetry enabled and prints every counter,
+gauge, and stage-time histogram. -metrics-addr (usable with any command)
+serves the same metrics over HTTP in Prometheus text format at /metrics;
+-metrics-hold keeps the endpoint up after the run finishes.
 
 exit codes:
   0    success
@@ -85,16 +94,35 @@ type cli struct {
 	reuseIndex bool
 	float32el  bool
 	input      string
+
+	// Telemetry surface: the `stats` subcommand dumps the registry after the
+	// run; -metrics-addr serves it over HTTP during (and, with -metrics-hold,
+	// after) the run.
+	telemDump   bool
+	metricsAddr string
+	metricsHold time.Duration
+	// metricsURL is the bound endpoint URL once the listener is up (the
+	// configured addr may use port 0); tests read it after metricsReady is
+	// closed.
+	metricsURL   string
+	metricsReady chan struct{}
 }
 
 // parseArgs builds a cli from argv (excluding the program name).
 func parseArgs(args []string) (*cli, error) {
-	c := &cli{}
-	// Subcommand form: `primacy verify <file>` checks integrity without
-	// producing output.
-	if len(args) > 0 && args[0] == "verify" {
-		c.verify = true
-		args = args[1:]
+	c := &cli{metricsReady: make(chan struct{})}
+	// Subcommand forms: `primacy verify <file>` checks integrity without
+	// producing output; `primacy stats <file>` compresses with telemetry
+	// enabled and dumps every metric.
+	if len(args) > 0 {
+		switch args[0] {
+		case "verify":
+			c.verify = true
+			args = args[1:]
+		case "stats":
+			c.telemDump = true
+			args = args[1:]
+		}
 	}
 	fs := flag.NewFlagSet("primacy", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
@@ -117,6 +145,8 @@ func parseArgs(args []string) (*cli, error) {
 	fs.BoolVar(&c.noISOBAR, "no-isobar", false, "compress all mantissa bytes (ablation)")
 	fs.BoolVar(&c.reuseIndex, "reuse-index", false, "emit indexes only on distribution shift")
 	fs.BoolVar(&c.float32el, "f32", false, "treat input as float32 elements")
+	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics during the run")
+	fs.DurationVar(&c.metricsHold, "metrics-hold", 0, "with -metrics-addr: keep the endpoint up this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -130,6 +160,12 @@ func parseArgs(args []string) (*cli, error) {
 	if c.verify {
 		if c.compress || c.decompress {
 			return nil, errors.New("verify takes no -c / -d flags")
+		}
+		return c, nil
+	}
+	if c.telemDump {
+		if c.compress || c.decompress {
+			return nil, errors.New("stats takes no -c / -d flags")
 		}
 		return c, nil
 	}
@@ -171,17 +207,84 @@ func (c *cli) run(w io.Writer) error {
 // runCtx is run with cancellation: a done ctx (e.g. SIGINT) aborts between
 // chunks/shards and surfaces as ctx.Err(), which main maps to exit 130.
 func (c *cli) runCtx(ctx context.Context, w io.Writer) error {
+	var reg *primacy.Metrics
+	if c.telemDump || c.metricsAddr != "" {
+		reg = primacy.NewMetrics()
+		primacy.EnableTelemetry(reg)
+		defer primacy.EnableTelemetry(nil)
+	}
+	if c.metricsAddr != "" {
+		stop, err := c.serveMetrics(w, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	data, err := os.ReadFile(c.input)
 	if err != nil {
 		return err
 	}
-	if c.verify {
-		return c.runVerify(w, data)
+	switch {
+	case c.verify:
+		err = c.runVerify(w, data)
+	case c.telemDump:
+		err = c.runTelemetryDump(ctx, w, data, reg)
+	case c.compress:
+		err = c.runCompress(ctx, w, data)
+	default:
+		err = c.runDecompress(ctx, w, data)
 	}
-	if c.compress {
-		return c.runCompress(ctx, w, data)
+	if err != nil {
+		return err
 	}
-	return c.runDecompress(ctx, w, data)
+	c.holdMetrics(ctx, w)
+	return nil
+}
+
+// serveMetrics starts the Prometheus endpoint; the returned func shuts it
+// down. The bound URL lands in c.metricsURL (the configured address may use
+// port 0).
+func (c *cli) serveMetrics(w io.Writer, reg *primacy.Metrics) (func(), error) {
+	ln, err := net.Listen("tcp", c.metricsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	c.metricsURL = fmt.Sprintf("http://%s/metrics", ln.Addr())
+	close(c.metricsReady)
+	fmt.Fprintf(w, "metrics: %s\n", c.metricsURL)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
+}
+
+// holdMetrics keeps the process alive after a successful run so the metrics
+// endpoint stays scrapeable. An interrupt during the hold is a clean exit:
+// the run itself already succeeded.
+func (c *cli) holdMetrics(ctx context.Context, w io.Writer) {
+	if c.metricsAddr == "" || c.metricsHold <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "holding metrics endpoint for %s (interrupt to exit)\n", c.metricsHold)
+	t := time.NewTimer(c.metricsHold)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// runTelemetryDump compresses the input with telemetry routed to reg and
+// prints the resulting counters, gauges, and stage-time histograms.
+func (c *cli) runTelemetryDump(ctx context.Context, w io.Writer, data []byte, reg *primacy.Metrics) error {
+	opts := c.options()
+	enc, err := primacy.ParallelCompressCtx(ctx, data, primacy.ParallelOptions{Core: opts, Workers: c.workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d -> %d bytes (%.3fx)\n", c.input, len(data), len(enc), float64(len(data))/float64(len(enc)))
+	return reg.WriteText(w)
 }
 
 // runVerify checks the integrity of any PRIMACY artifact and reports every

@@ -188,6 +188,10 @@ func (w *Writer) put(name string, step int, values []float64) error {
 	if _, err := w.dst.Write(frame); err != nil {
 		return err
 	}
+	if m := tmet.Load(); m != nil {
+		m.entriesWritten.Inc()
+		m.entryBytes.Add(int64(len(frame)))
+	}
 	w.toc = append(w.toc, tocEntry{
 		Name:   name,
 		Step:   uint32(step),
@@ -480,6 +484,10 @@ func (r *Reader) GetFloat64s(name string, step int) ([]float64, error) {
 			if uint64(len(values)*8) != e.RawLen {
 				return nil, fmt.Errorf("%w: %s@%d decoded to %d bytes, TOC says %d",
 					ErrCorrupt, name, step, len(values)*8, e.RawLen)
+			}
+			if m := tmet.Load(); m != nil {
+				m.entriesRead.Inc()
+				m.readBytes.Add(int64(len(values) * 8))
 			}
 			return values, nil
 		}

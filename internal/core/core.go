@@ -341,6 +341,7 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 	if err != nil {
 		return nil, stats, err
 	}
+	m := tmet.Load()
 
 	out := make([]byte, 0, len(data)/2+256)
 	out = append(out, magicV2...)
@@ -369,7 +370,7 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
-		enc, ci, err := compressChunkSafe(chunk, sv, opts, lay, prevIndex, &c.sc)
+		enc, ci, err := compressChunkSafe(chunk, sv, opts, lay, prevIndex, &c.sc, m)
 		if err != nil {
 			// Degraded mode: the solver faulted on this chunk (error or
 			// panic). Store the chunk raw so the container stays complete
@@ -409,6 +410,13 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 	if loCompIn > 0 {
 		stats.SigmaLo = float64(loCompOut) / float64(loCompIn)
 	}
+	if m != nil {
+		m.chunks.Add(int64(stats.Chunks))
+		m.degraded.Add(int64(stats.DegradedChunks))
+		m.rawBytes.Add(int64(stats.RawBytes))
+		m.compBytes.Add(int64(stats.CompressedBytes))
+		m.solverIn.Add(int64(stats.SolverInputBytes))
+	}
 	return out, stats, nil
 }
 
@@ -434,7 +442,9 @@ type chunkInfo struct {
 
 // compressChunk encodes one chunk into a record that aliases sc.enc; the
 // caller must copy it out before the next call reusing the same scratch.
-func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch) ([]byte, chunkInfo, error) {
+// m may be nil (telemetry disabled); when set, per-stage wall times and the
+// paper's α₁/α₂ stage decomposition are recorded as histograms.
+func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics) ([]byte, chunkInfo, error) {
 	var ci chunkInfo
 	precStart := time.Now()
 	hi, lo, err := lay.AppendSplit(sc.hi[:0], sc.lo[:0], chunk)
@@ -442,6 +452,13 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 		return nil, ci, err
 	}
 	sc.hi, sc.lo = hi, lo
+	// splitEnd separates the byte-split stage from the ID-mapping stage in
+	// the telemetry decomposition; the clock is only read when recording.
+	var splitEnd time.Time
+	if m != nil {
+		splitEnd = time.Now()
+		m.splitSeconds.Observe(splitEnd.Sub(precStart).Seconds())
+	}
 	ci.hiRaw = len(hi)
 
 	// High-order path: ID mapping + linearization + solver.
@@ -495,13 +512,20 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 		sc.col = ids
 	}
 	ci.precSecs += time.Since(precStart).Seconds()
+	if m != nil {
+		m.freqmapSeconds.Observe(time.Since(splitEnd).Seconds())
+	}
 	solverStart := time.Now()
 	idsComp, err := solver.CompressTo(sv, sc.idsCmp[:0], ids)
 	if err != nil {
 		return nil, ci, err
 	}
 	sc.idsCmp = idsComp
-	ci.solverSecs += time.Since(solverStart).Seconds()
+	d := time.Since(solverStart).Seconds()
+	ci.solverSecs += d
+	if m != nil {
+		m.solverSeconds.Observe(d)
+	}
 	ci.solverInput += len(ids)
 	ci.hiComp = len(idsComp)
 	ci.indexBytes = len(indexBlob)
@@ -525,14 +549,22 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 		return nil, ci, err
 	}
 	sc.comp, sc.incomp = comp, incomp
-	ci.precSecs += time.Since(precStart).Seconds()
+	d = time.Since(precStart).Seconds()
+	ci.precSecs += d
+	if m != nil {
+		m.isobarSeconds.Observe(d)
+	}
 	solverStart = time.Now()
 	compOut, err := solver.CompressTo(sv, sc.cmpOut[:0], comp)
 	if err != nil {
 		return nil, ci, err
 	}
 	sc.cmpOut = compOut
-	ci.solverSecs += time.Since(solverStart).Seconds()
+	d = time.Since(solverStart).Seconds()
+	ci.solverSecs += d
+	if m != nil {
+		m.solverSeconds.Observe(d)
+	}
 	ci.solverInput += len(comp)
 	// Guard: if the solver expanded the compressible part, store it raw and
 	// clear the mask so decode knows (ISOBAR's no-waste principle). With the
@@ -661,6 +693,7 @@ func (c *Codec) DecompressWithStatsCtx(ctx context.Context, data []byte) ([]byte
 	if preTotal > 8<<20 {
 		preTotal = 8 << 20
 	}
+	m := tmet.Load()
 	out := make([]byte, 0, preTotal)
 	pos := h.end
 	var prevIndex *freq.Index
@@ -672,7 +705,7 @@ func (c *Codec) DecompressWithStatsCtx(ctx context.Context, data []byte) ([]byte
 		if err != nil {
 			return nil, ds, err
 		}
-		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &c.sc)
+		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &c.sc, m)
 		if err != nil {
 			return nil, ds, err
 		}
@@ -684,6 +717,9 @@ func (c *Codec) DecompressWithStatsCtx(ctx context.Context, data []byte) ([]byte
 		return nil, ds, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), h.total)
 	}
 	ds.RawBytes = len(out)
+	if m != nil {
+		m.decBytes.Add(int64(len(out)))
+	}
 	return out, ds, nil
 }
 
@@ -698,8 +734,8 @@ func DecompressFloat64s(data []byte) ([]float64, error) {
 
 // decompressChunk decodes one chunk record into a buffer that aliases sc;
 // the caller must copy the returned chunk out before the next call reusing
-// the same scratch.
-func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats, sc *scratch) ([]byte, *freq.Index, error) {
+// the same scratch. m may be nil (telemetry disabled).
+func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats, sc *scratch, m *coreMetrics) ([]byte, *freq.Index, error) {
 	pos := 0
 	readU32 := func() (int, error) {
 		if pos+4 > len(rec) {
@@ -765,7 +801,11 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: ID payload: %v", ErrCorrupt, err)
 	}
 	sc.ids = ids
-	ds.SolverSeconds += time.Since(solverStart).Seconds()
+	d := time.Since(solverStart).Seconds()
+	ds.SolverSeconds += d
+	if m != nil {
+		m.decSolverSeconds.Observe(d)
+	}
 	ds.SolverOutputBytes += len(ids)
 	pos += idsLen
 	if len(ids) != n*lay.HiBytes {
@@ -800,7 +840,11 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: unknown mapping %d", ErrCorrupt, mapping)
 	}
 
-	ds.PrecSeconds += time.Since(precStart).Seconds()
+	d = time.Since(precStart).Seconds()
+	ds.PrecSeconds += d
+	if m != nil {
+		m.decPrecSeconds.Observe(d)
+	}
 	if pos >= len(rec) {
 		return nil, nil, fmt.Errorf("%w: missing ISOBAR mask", ErrCorrupt)
 	}
@@ -822,7 +866,11 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: mantissa payload: %v", ErrCorrupt, err)
 	}
 	sc.comp = comp
-	ds.SolverSeconds += time.Since(solverStart).Seconds()
+	d = time.Since(solverStart).Seconds()
+	ds.SolverSeconds += d
+	if m != nil {
+		m.decSolverSeconds.Observe(d)
+	}
 	ds.SolverOutputBytes += len(comp)
 	pos += compLen
 	incompLen, err := readU32()
@@ -848,6 +896,10 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	sc.chunk = chunk
-	ds.PrecSeconds += time.Since(precStart).Seconds()
+	d = time.Since(precStart).Seconds()
+	ds.PrecSeconds += d
+	if m != nil {
+		m.decPrecSeconds.Observe(d)
+	}
 	return chunk, idx, nil
 }

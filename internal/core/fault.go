@@ -42,14 +42,14 @@ func (e *PanicError) Error() string {
 
 // compressChunkSafe runs compressChunk, converting a panic into a
 // *PanicError so the caller can degrade instead of crashing.
-func compressChunkSafe(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch) (enc []byte, ci chunkInfo, err error) {
+func compressChunkSafe(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics) (enc []byte, ci chunkInfo, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			enc, ci = nil, chunkInfo{}
 			err = &PanicError{Op: "compress chunk", Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return compressChunk(chunk, sv, opts, lay, prev, sc)
+	return compressChunk(chunk, sv, opts, lay, prev, sc, m)
 }
 
 // appendRawChunkRecord encodes chunk as a degraded raw-passthrough record

@@ -109,7 +109,7 @@ func (r *ChunkReader) DecodeChunk(i int) ([]byte, error) {
 	var ds DecompStats
 	// Fresh scratch per call: the returned chunk aliases it, and DecodeChunk
 	// hands ownership to the caller.
-	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds, new(scratch))
+	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds, new(scratch), tmet.Load())
 	return chunk, err
 }
 

@@ -35,6 +35,7 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 		return nil, rep, err
 	}
 
+	m := tmet.Load()
 	preTotal := h.total
 	if preTotal > 8<<20 {
 		preTotal = 8 << 20
@@ -50,7 +51,7 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 		if err == nil {
 			var chunk []byte
 			var idx *freq.Index
-			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &sc)
+			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &sc, m)
 			if err == nil {
 				prevIndex = idx
 				out = append(out, chunk...)
@@ -72,6 +73,9 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 	}
 	if uint64(len(out)) != h.total {
 		rep.Add(len(data), -1, fmt.Errorf("%w: recovered %d of %d bytes", ErrCorrupt, len(out), h.total))
+	}
+	if m != nil {
+		m.salvageFaults.Add(int64(len(rep.Corruptions)))
 	}
 	return out, rep, nil
 }

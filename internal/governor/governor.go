@@ -14,6 +14,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"primacy/internal/telemetry"
 )
 
 // Governor admits units of work against a memory budget and a concurrency
@@ -93,26 +95,47 @@ func (g *Governor) Acquire(ctx context.Context, bytes int64) error {
 	if g == nil {
 		return nil
 	}
+	m := tmet.Load()
 	bytes = g.clamp(bytes)
 	g.mu.Lock()
 	// Fast path: admitted now, and no earlier waiter is owed the capacity.
 	if len(g.waiters) == 0 && g.admits(bytes) {
 		g.take(bytes)
 		g.mu.Unlock()
+		if m != nil {
+			m.acquires.Inc()
+			m.inFlight.Add(1)
+			m.inFlightBytes.Add(bytes)
+		}
 		return nil
 	}
 	w := &waiter{bytes: bytes, ready: make(chan struct{})}
 	g.waiters = append(g.waiters, w)
 	g.mu.Unlock()
+	var sp telemetry.Span
+	if m != nil {
+		m.blocked.Inc()
+		m.queueDepth.Add(1)
+		sp = m.waitSeconds.Start()
+	}
 	select {
 	case <-w.ready:
+		if m != nil {
+			sp.End()
+			m.acquires.Inc()
+		}
 		return nil
 	case <-ctx.Done():
 		g.mu.Lock()
 		if w.granted {
 			// Release raced the cancellation and already granted us the
 			// capacity; hand it back before reporting the cancellation.
+			// The granting Release already settled the queue-depth and
+			// in-flight gauges; this Release undoes the in-flight side.
 			g.mu.Unlock()
+			if m != nil {
+				m.cancelled.Inc()
+			}
 			g.Release(bytes)
 			return ctx.Err()
 		}
@@ -123,6 +146,10 @@ func (g *Governor) Acquire(ctx context.Context, bytes int64) error {
 			}
 		}
 		g.mu.Unlock()
+		if m != nil {
+			m.cancelled.Inc()
+			m.queueDepth.Add(-1)
+		}
 		return ctx.Err()
 	}
 }
@@ -133,6 +160,7 @@ func (g *Governor) Release(bytes int64) {
 	if g == nil {
 		return
 	}
+	m := tmet.Load()
 	bytes = g.clamp(bytes)
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -141,6 +169,10 @@ func (g *Governor) Release(bytes int64) {
 	if g.memUsed < 0 || g.inFlight < 0 {
 		panic(fmt.Sprintf("governor: release without acquire (mem=%d inflight=%d)",
 			g.memUsed, g.inFlight))
+	}
+	if m != nil {
+		m.inFlight.Add(-1)
+		m.inFlightBytes.Add(-bytes)
 	}
 	for len(g.waiters) > 0 {
 		w := g.waiters[0]
@@ -151,6 +183,11 @@ func (g *Governor) Release(bytes int64) {
 		w.granted = true
 		close(w.ready)
 		g.waiters = g.waiters[1:]
+		if m != nil {
+			m.queueDepth.Add(-1)
+			m.inFlight.Add(1)
+			m.inFlightBytes.Add(w.bytes)
+		}
 	}
 }
 

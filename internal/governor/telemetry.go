@@ -1,0 +1,48 @@
+package governor
+
+import (
+	"sync/atomic"
+
+	"primacy/internal/telemetry"
+)
+
+// metrics bundles the governor's telemetry handles. Handles are registered
+// once at enable time; hot paths load the bundle pointer (one atomic load +
+// nil check) and record through nil-safe handles.
+type metrics struct {
+	// acquires counts successful admissions; blocked counts the subset that
+	// had to queue; cancelled counts waits abandoned via context.
+	acquires  *telemetry.Counter
+	blocked   *telemetry.Counter
+	cancelled *telemetry.Counter
+	// waitSeconds observes how long blocked Acquire calls queued — the
+	// admission-wait component of end-to-end latency under load.
+	waitSeconds *telemetry.Histogram
+	// queueDepth, inFlight, and inFlightBytes are delta-tracked gauges, so
+	// several governors sharing one registry aggregate correctly.
+	queueDepth    *telemetry.Gauge
+	inFlight      *telemetry.Gauge
+	inFlightBytes *telemetry.Gauge
+}
+
+var tmet atomic.Pointer[metrics]
+
+// EnableTelemetry registers the governor's metrics on r and starts
+// recording; a nil r disables recording. Enable before admitting work —
+// gauges track deltas, so flipping telemetry mid-flight skews them until the
+// in-flight admissions drain.
+func EnableTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		tmet.Store(nil)
+		return
+	}
+	tmet.Store(&metrics{
+		acquires:      r.Counter("primacy_governor_acquires_total", "Admissions granted."),
+		blocked:       r.Counter("primacy_governor_blocked_total", "Acquires that queued before admission."),
+		cancelled:     r.Counter("primacy_governor_cancelled_total", "Queued acquires abandoned by context cancellation."),
+		waitSeconds:   r.Histogram("primacy_governor_wait_seconds", "Queue time of blocked acquires.", nil),
+		queueDepth:    r.Gauge("primacy_governor_queue_depth", "Acquires currently queued."),
+		inFlight:      r.Gauge("primacy_governor_inflight", "Admissions currently held."),
+		inFlightBytes: r.Gauge("primacy_governor_inflight_bytes", "Bytes of input currently admitted."),
+	})
+}

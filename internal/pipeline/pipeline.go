@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"primacy/internal/checksum"
 	"primacy/internal/core"
 	"primacy/internal/governor"
+	"primacy/internal/telemetry"
 )
 
 // Container magics. v1 frames each shard with a bare u32 length; v2 adds a
@@ -31,6 +33,16 @@ const (
 
 // ErrCorrupt indicates a malformed parallel container.
 var ErrCorrupt = errors.New("pipeline: corrupt stream")
+
+// ErrTooLarge indicates a shard whose compressed form exceeds the u32 frame
+// length, which the container format cannot represent. Without this check the
+// uint32 cast would silently truncate the length and corrupt the container.
+var ErrTooLarge = errors.New("pipeline: shard exceeds u32 framing limit")
+
+// maxShardBytes is the largest compressed shard the u32 frame length can
+// carry. Tests lower it to exercise the ErrTooLarge path without allocating
+// multi-GiB buffers.
+var maxShardBytes int64 = math.MaxUint32
 
 // ErrChecksum indicates a CRC32C mismatch on a v2 shard; it is wrapped
 // together with ErrCorrupt.
@@ -78,6 +90,10 @@ func (o Options) workers() int {
 
 // shardBytes computes the per-shard input size, rounded to whole elements of
 // the configured precision (Float32 inputs shard on 4-byte elements, not 8).
+// The default (ShardBytes == 0) rounds each shard UP to a whole multiple of
+// the effective chunk size, so interior shards contain only full chunks and
+// sharding never manufactures runt chunks at shard seams that a sequential
+// core.Compress of the same input would not produce.
 func (o Options) shardBytes(total, elemBytes int) int {
 	if o.ShardBytes > 0 {
 		// Round to whole elements.
@@ -87,12 +103,20 @@ func (o Options) shardBytes(total, elemBytes int) int {
 		}
 		return sb
 	}
-	w := o.workers()
-	sb := (total + w - 1) / w
-	sb -= sb % elemBytes
+	// Effective chunk size: the core codec rounds ChunkBytes down to a whole
+	// element multiple, so mirror that here.
 	chunk := o.Core.ChunkBytes
 	if chunk == 0 {
 		chunk = 3 << 20
+	}
+	chunk -= chunk % elemBytes
+	if chunk < elemBytes {
+		chunk = elemBytes
+	}
+	w := o.workers()
+	sb := (total + w - 1) / w
+	if rem := sb % chunk; rem != 0 {
+		sb += chunk - rem
 	}
 	if sb < chunk {
 		sb = chunk
@@ -140,7 +164,10 @@ func CompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, error)
 		return nil, err
 	}
 	outLen := len(magicV2) + 4
-	for _, o := range outputs {
+	for i, o := range outputs {
+		if int64(len(o)) > maxShardBytes {
+			return nil, fmt.Errorf("%w: shard %d compressed to %d bytes", ErrTooLarge, i, len(o))
+		}
 		outLen += 8 + len(o)
 	}
 	out := make([]byte, 0, outLen)
@@ -284,16 +311,28 @@ feed:
 
 // runShard executes one shard under admission control and panic isolation.
 func runShard(ctx context.Context, gov *governor.Governor, codec *core.Codec, i int, do func(ctx context.Context, codec *core.Codec, i int) error, weight func(i int) int64) (err error) {
+	m := tmet.Load()
+	var sp telemetry.Span
+	if m != nil {
+		sp = m.shardSeconds.Start()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &core.PanicError{Op: fmt.Sprintf("shard %d", i), Value: r, Stack: debug.Stack()}
+		}
+		sp.End()
+		if m != nil {
+			m.shards.Inc()
+			if err != nil {
+				m.shardErrors.Inc()
+			}
+		}
+	}()
 	w := weight(i)
 	if err := gov.Acquire(ctx, w); err != nil {
 		return err
 	}
 	defer gov.Release(w)
-	defer func() {
-		if r := recover(); r != nil {
-			err = &core.PanicError{Op: fmt.Sprintf("shard %d", i), Value: r, Stack: debug.Stack()}
-		}
-	}()
 	return do(ctx, codec, i)
 }
 

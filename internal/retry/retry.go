@@ -65,6 +65,7 @@ func (p Policy) sleep(ctx context.Context, d time.Duration) {
 // exponential backoff until an attempt succeeds, the error is classified
 // permanent, attempts run out, or ctx is done (which returns ctx.Err()).
 func (p Policy) Do(ctx context.Context, op func() error) error {
+	m := tmet.Load()
 	attempts := p.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -75,11 +76,26 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
+		if m != nil {
+			m.attempts.Inc()
+			if try > 0 {
+				m.retries.Inc()
+			}
+		}
 		if err = op(); err == nil {
 			return nil
 		}
-		if !p.retryable(err) || try == attempts-1 {
+		if !p.retryable(err) {
 			return err
+		}
+		if try == attempts-1 {
+			if m != nil {
+				m.exhausted.Inc()
+			}
+			return err
+		}
+		if m != nil {
+			m.backoffSeconds.Observe(delay.Seconds())
 		}
 		p.sleep(ctx, delay)
 		delay *= 2

@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"primacy/internal/core"
+	"primacy/internal/faultinject"
+)
+
+// accumulate must weight every per-segment fraction — Alpha1 included — by
+// the raw bytes it describes, not overwrite it with the last segment's value.
+func TestAccumulateWeightsFractionsByRawBytes(t *testing.T) {
+	var w Writer
+	w.accumulate(core.Stats{RawBytes: 100, Alpha1: 1.0, Alpha2: 0.4, SigmaHo: 0.2, SigmaLo: 0.6})
+	w.accumulate(core.Stats{RawBytes: 300, Alpha1: 0.5, Alpha2: 0.8, SigmaHo: 0.4, SigmaLo: 0.2})
+
+	st := w.Stats()
+	if st.RawBytes != 400 {
+		t.Fatalf("RawBytes = %d, want 400", st.RawBytes)
+	}
+	// (100*1.0 + 300*0.5) / 400
+	if got, want := st.Alpha1, 0.625; !approxEq(got, want) {
+		t.Errorf("Alpha1 = %v, want %v (weighted mean, not last segment)", got, want)
+	}
+	// (100*0.4 + 300*0.8) / 400
+	if got, want := st.Alpha2, 0.7; !approxEq(got, want) {
+		t.Errorf("Alpha2 = %v, want %v", got, want)
+	}
+	if got, want := st.SigmaHo, 0.35; !approxEq(got, want) {
+		t.Errorf("SigmaHo = %v, want %v", got, want)
+	}
+	if got, want := st.SigmaLo, 0.3; !approxEq(got, want) {
+		t.Errorf("SigmaLo = %v, want %v", got, want)
+	}
+}
+
+// A single segment's stats must pass through unchanged.
+func TestAccumulateSingleSegment(t *testing.T) {
+	var w Writer
+	w.accumulate(core.Stats{RawBytes: 64, Alpha1: 0.25, Alpha2: 0.9})
+	if st := w.Stats(); !approxEq(st.Alpha1, 0.25) || !approxEq(st.Alpha2, 0.9) {
+		t.Fatalf("single-segment stats altered: %+v", st)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+// A Write that fails mid-call must report how many bytes of p were consumed
+// (the io.Writer contract), not zero.
+func TestWriteReportsAcceptedBytesOnError(t *testing.T) {
+	const chunk = 8 << 10
+	var sink bytes.Buffer
+	// The sink accepts one Write (the stream magic) and then dies, so the
+	// first emitted segment fails at its header write.
+	flaky := &faultinject.FlakyWriter{W: &sink, FailFrom: 1}
+	w, err := NewWriter(flaky, core.Options{ChunkBytes: chunk})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+
+	// First call buffers half a chunk: fully accepted.
+	half := make([]byte, chunk/2)
+	if n, err := w.Write(half); err != nil || n != len(half) {
+		t.Fatalf("buffering Write = (%d, %v), want (%d, nil)", n, err, len(half))
+	}
+
+	// Second call tops up the buffer and triggers the failing emit. The
+	// bytes consumed into the buffer before the failure must be reported.
+	p := make([]byte, 2*chunk)
+	n, err := w.Write(p)
+	if err == nil {
+		t.Fatal("Write on a dead sink succeeded")
+	}
+	if want := chunk - len(half); n != want {
+		t.Fatalf("failing Write reported n=%d, want %d (bytes consumed into the buffer)", n, want)
+	}
+
+	// The writer is sticky-failed with the same error.
+	if _, err2 := w.Write(p); !errors.Is(err2, err) && err2 != err {
+		t.Fatalf("sticky error = %v, want %v", err2, err)
+	}
+}
+
+// Write must not grow its buffer beyond one chunk or pin the caller's
+// backing array by re-slicing: large writes compress straight from p and
+// only the sub-chunk residue is copied.
+func TestWriteBufferStaysChunkBounded(t *testing.T) {
+	const chunk = 8 << 10
+	var sink bytes.Buffer
+	w, err := NewWriter(&sink, core.Options{ChunkBytes: chunk})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+
+	// One huge write: 5 full chunks plus a residue (testData sizes are in
+	// float64 elements).
+	p := testData((5*chunk + 1024) / 8)
+	if n, err := w.Write(p); err != nil || n != len(p) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(p))
+	}
+	if len(w.buf) != 1024 {
+		t.Fatalf("residue length = %d, want 1024", len(w.buf))
+	}
+	if cap(w.buf) > chunk {
+		t.Fatalf("buffer capacity %d exceeds one chunk (%d): caller memory pinned", cap(w.buf), chunk)
+	}
+	// The residue must live in the writer's own array, not alias p.
+	p[5*chunk] ^= 0xFF
+	if w.buf[0] == p[5*chunk] {
+		t.Fatal("writer buffer aliases the caller's slice")
+	}
+	p[5*chunk] ^= 0xFF
+
+	// Many small writes crossing several chunk boundaries: still bounded.
+	piece := testData(375) // 3000 bytes
+	for i := 0; i < 20; i++ {
+		if _, err := w.Write(piece); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+		if cap(w.buf) > chunk {
+			t.Fatalf("write %d: buffer capacity %d exceeds one chunk", i, cap(w.buf))
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Everything must still round-trip.
+	want := append(append([]byte(nil), p...), bytes.Repeat(piece, 20)...)
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(NewReader(&sink)); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("round trip mismatch: %d raw, %d decoded", len(want), got.Len())
+	}
+}
+
+// A segment whose compressed form would overflow the u32 frame length must
+// fail with ErrTooLarge before anything is written, not truncate the length.
+// The limit is lowered via the test shim so no multi-GiB buffer is needed.
+func TestEmitRejectsOversizedSegment(t *testing.T) {
+	old := maxSegmentBytes
+	maxSegmentBytes = 64
+	defer func() { maxSegmentBytes = old }()
+
+	var sink bytes.Buffer
+	w, err := NewWriter(&sink, core.Options{ChunkBytes: 8 << 10})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	_, err = w.Write(testData(2 << 10))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Write error = %v, want ErrTooLarge", err)
+	}
+	// The check fires before the segment header: the sink holds at most the
+	// stream magic, never a torn frame.
+	if sink.Len() > len(magicV2) {
+		t.Fatalf("sink holds %d bytes after rejected segment, want <= %d", sink.Len(), len(magicV2))
+	}
+	if err := w.Close(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Close after failure = %v, want sticky ErrTooLarge", err)
+	}
+}

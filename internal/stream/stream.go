@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"primacy/internal/bytesplit"
 	"primacy/internal/checksum"
 	"primacy/internal/core"
 	"primacy/internal/governor"
 	"primacy/internal/retry"
+	"primacy/internal/telemetry"
 )
 
 // Stream magics: v1 is the original checksum-less layout, v2 adds a CRC32C
@@ -44,6 +46,16 @@ var ErrCorrupt = errors.New("stream: corrupt stream")
 // ErrChecksum indicates a CRC32C mismatch on a v2 segment; it is wrapped
 // together with ErrCorrupt.
 var ErrChecksum = errors.New("checksum mismatch")
+
+// ErrTooLarge indicates a segment whose compressed form exceeds the u32
+// frame length, which the stream format cannot represent. Without this check
+// the uint32 cast would silently truncate the length and corrupt the stream.
+var ErrTooLarge = errors.New("stream: segment exceeds u32 framing limit")
+
+// maxSegmentBytes is the largest compressed segment the u32 frame length can
+// carry. Tests lower it to exercise the ErrTooLarge path without allocating
+// multi-GiB buffers.
+var maxSegmentBytes int64 = math.MaxUint32
 
 // Writer compresses data written to it and forwards segments to the
 // underlying writer. Not safe for concurrent use.
@@ -128,6 +140,13 @@ func layoutFor(opts core.Options) (bytesplit.Layout, error) {
 
 // Write buffers p and emits full segments as they fill. After any failure
 // the writer is sticky-failed: the error is returned again on every call.
+//
+// Per the io.Writer contract, a failing Write reports how many bytes of p
+// were consumed before the failure; bytes accepted into the internal buffer
+// count as consumed. The buffer never holds more than one chunk: full chunks
+// available directly in p are compressed in place without copying, and a
+// partial chunk is copied into the buffer rather than re-slicing it, so the
+// writer never pins a large caller-sized backing array.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
@@ -135,20 +154,50 @@ func (w *Writer) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, errors.New("stream: write after Close")
 	}
-	w.buf = append(w.buf, p...)
-	for len(w.buf) >= w.chunkBytes {
-		if err := w.emit(w.buf[:w.chunkBytes]); err != nil {
-			w.err = err
-			return 0, err
+	n := 0
+	for n < len(p) {
+		if len(w.buf) == 0 && len(p)-n >= w.chunkBytes {
+			// A full chunk is available in p: emit straight from the caller's
+			// buffer, no copy.
+			if err := w.emit(p[n : n+w.chunkBytes]); err != nil {
+				w.err = err
+				return n, err
+			}
+			n += w.chunkBytes
+			continue
 		}
-		w.buf = w.buf[w.chunkBytes:]
+		take := w.chunkBytes - len(w.buf)
+		if take > len(p)-n {
+			take = len(p) - n
+		}
+		if w.buf == nil {
+			// One chunk-sized allocation for the writer's lifetime; append
+			// growth would otherwise overshoot the chunk bound.
+			w.buf = make([]byte, 0, w.chunkBytes)
+		}
+		w.buf = append(w.buf, p[n:n+take]...)
+		n += take
+		if len(w.buf) == w.chunkBytes {
+			if err := w.emit(w.buf); err != nil {
+				w.err = err
+				return n, err
+			}
+			// Keep the chunk-sized backing array for the next segment.
+			w.buf = w.buf[:0]
+		}
 	}
-	return len(p), nil
+	return n, nil
 }
 
 func (w *Writer) emit(chunk []byte) error {
 	if err := w.ctx.Err(); err != nil {
 		return err
+	}
+	m := tmet.Load()
+	var sp telemetry.Span
+	if m != nil {
+		sp = m.segSecs.Start()
+		defer sp.End()
 	}
 	if err := w.gov.Acquire(w.ctx, int64(len(chunk))); err != nil {
 		return err
@@ -164,6 +213,9 @@ func (w *Writer) emit(chunk []byte) error {
 	if err != nil {
 		return err
 	}
+	if int64(len(enc)) > maxSegmentBytes {
+		return fmt.Errorf("%w: segment compressed to %d bytes", ErrTooLarge, len(enc))
+	}
 	w.accumulate(st)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(enc)))
@@ -171,8 +223,15 @@ func (w *Writer) emit(chunk []byte) error {
 	if _, err := w.dst.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.dst.Write(enc)
-	return err
+	if _, err := w.dst.Write(enc); err != nil {
+		return err
+	}
+	if m != nil {
+		m.segments.Inc()
+		m.segBytes.Add(int64(len(enc)))
+		m.segRaw.Add(int64(len(chunk)))
+	}
+	return nil
 }
 
 func (w *Writer) accumulate(st core.Stats) {
@@ -186,11 +245,15 @@ func (w *Writer) accumulate(st core.Stats) {
 	w.stats.PrecSeconds += st.PrecSeconds
 	w.stats.SolverSeconds += st.SolverSeconds
 	w.stats.SolverInputBytes += st.SolverInputBytes
-	w.stats.Alpha1 = st.Alpha1
-	// Weighted means for the fractions.
+	// Weighted means for the fractions: every per-segment ratio is averaged
+	// by the raw bytes it describes. Alpha1 in particular must not be
+	// overwritten with the last segment's value — a stream whose precision
+	// layout changes its α₁ share mid-stream would otherwise report only the
+	// final segment's split.
 	if w.stats.RawBytes > 0 {
 		wPrev := float64(prevRaw) / float64(w.stats.RawBytes)
 		wNew := 1 - wPrev
+		w.stats.Alpha1 = w.stats.Alpha1*wPrev + st.Alpha1*wNew
 		w.stats.Alpha2 = w.stats.Alpha2*wPrev + st.Alpha2*wNew
 		w.stats.SigmaHo = w.stats.SigmaHo*wPrev + st.SigmaHo*wNew
 		w.stats.SigmaLo = w.stats.SigmaLo*wPrev + st.SigmaLo*wNew
@@ -288,6 +351,23 @@ func NewSalvageReader(src io.Reader) *Reader {
 // Report returns the corruption report accumulated by a salvage reader
 // (nil for ordinary readers). It is complete once Read has returned io.EOF.
 func (r *Reader) Report() *core.CorruptionReport { return r.report }
+
+// addFault records one salvage fault in the report and counts it.
+func (r *Reader) addFault(off, seg int, err error) {
+	r.report.Add(off, seg, err)
+	if m := tmet.Load(); m != nil {
+		m.salvageFaults.Inc()
+	}
+}
+
+// mergeFaults folds a sub-report into the reader's report and counts its
+// faults.
+func (r *Reader) mergeFaults(base int, sub *core.CorruptionReport) {
+	r.report.Merge(base, sub)
+	if m := tmet.Load(); m != nil {
+		m.salvageFaults.Add(int64(len(sub.Corruptions)))
+	}
+}
 
 // Read implements io.Reader, decoding segment by segment.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -403,7 +483,7 @@ func (r *Reader) fillSalvage() error {
 			return fmt.Errorf("%w: stream read: %v", ErrCorrupt, err)
 		}
 		if len(r.buf) < 4 || r.readMagic(r.buf[:4]) != nil {
-			r.report.Add(0, -1, fmt.Errorf("%w: bad magic", ErrCorrupt))
+			r.addFault(0, -1, fmt.Errorf("%w: bad magic", ErrCorrupt))
 			// No usable stream magic: guess v2 framing and go straight to
 			// resync-by-container-magic below.
 			r.version = 2
@@ -420,7 +500,7 @@ func (r *Reader) fillSalvage() error {
 	for {
 		if r.pos >= len(r.buf) {
 			// Stream ended without a terminator.
-			r.report.Add(len(r.buf), -1, fmt.Errorf("%w: missing end marker", ErrCorrupt))
+			r.addFault(len(r.buf), -1, fmt.Errorf("%w: missing end marker", ErrCorrupt))
 			r.done = true
 			return nil
 		}
@@ -430,28 +510,28 @@ func (r *Reader) fillSalvage() error {
 				// zero length followed by more data is either a zeroed-out
 				// segment header or a mid-stream marker — damage either way,
 				// so resync instead of stopping early.
-				r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: zero segment length before end of stream", ErrCorrupt))
+				r.addFault(r.pos, r.segIdx, fmt.Errorf("%w: zero segment length before end of stream", ErrCorrupt))
 				return r.resync(r.pos + 4)
 			}
 			r.done = true
 			return nil
 		}
 		if r.pos+hdrLen > len(r.buf) {
-			r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: truncated segment header", ErrCorrupt))
+			r.addFault(r.pos, r.segIdx, fmt.Errorf("%w: truncated segment header", ErrCorrupt))
 			r.done = true
 			return nil
 		}
 		segLen := int(binary.LittleEndian.Uint32(r.buf[r.pos:]))
 		start := r.pos + hdrLen
 		if segLen < 0 || segLen > len(r.buf)-start {
-			r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: truncated segment: %d bytes claimed, %d remain",
+			r.addFault(r.pos, r.segIdx, fmt.Errorf("%w: truncated segment: %d bytes claimed, %d remain",
 				ErrCorrupt, segLen, len(r.buf)-start))
 			r.segIdx++
 			return r.resync(r.pos + 1)
 		}
 		seg := r.buf[start : start+segLen]
 		if r.version >= 2 && !checksum.Check(r.buf[r.pos+4:], seg) {
-			r.report.Add(r.pos, r.segIdx, fmt.Errorf("%w: segment: %w", ErrCorrupt, ErrChecksum))
+			r.addFault(r.pos, r.segIdx, fmt.Errorf("%w: segment: %w", ErrCorrupt, ErrChecksum))
 			r.segIdx++
 			return r.resync(start + segLen)
 		}
@@ -461,9 +541,9 @@ func (r *Reader) fillSalvage() error {
 			// the container still holds before moving on.
 			sal, subRep, serr := core.DecompressSalvage(seg)
 			if serr != nil {
-				r.report.Add(r.pos, r.segIdx, err)
+				r.addFault(r.pos, r.segIdx, err)
 			} else {
-				r.report.Merge(start, subRep)
+				r.mergeFaults(start, subRep)
 				chunk = sal
 			}
 			r.pos = start + segLen
@@ -486,6 +566,9 @@ func (r *Reader) fillSalvage() error {
 // cursor after it. Damage that destroys a segment's length field loses only
 // that segment.
 func (r *Reader) resync(from int) error {
+	if m := tmet.Load(); m != nil {
+		m.resyncs.Inc()
+	}
 	for {
 		c := nextContainerMagic(r.buf, from)
 		if c < 0 {

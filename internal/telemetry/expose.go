@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// with cumulative le-labelled buckets plus _sum and _count. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		if err := writeHeader(w, c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if err := writeHeader(w, g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		if err := writeHeader(w, h.Name, h.Help, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			h.Name, formatFloat(h.Sum), h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText renders a human-readable dump: counters and gauges one per
+// line, histograms with count, mean, and approximate p50/p99. This is what
+// `primacy stats` prints. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		if _, err := fmt.Fprintf(w, "%-46s count=%d sum=%.6g mean=%.6g p50~%.6g p99~%.6g\n",
+			h.Name, h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.99)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsHandler returns an http.Handler serving the registry in Prometheus
+// text format — the `/metrics` endpoint behind `primacy -metrics-addr`.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

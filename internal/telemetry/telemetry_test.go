@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Re-registration returns the same handle.
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("re-registered counter is a different handle")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	snap, ok := r.Snapshot().Histogram("h_seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if want := 0.5 + 0.7 + 5 + 50 + 5000; snap.Sum != want {
+		t.Fatalf("sum = %g, want %g", snap.Sum, want)
+	}
+	wantCounts := []int64{2, 1, 1, 1} // ≤1, ≤10, ≤100, +Inf
+	for i, c := range snap.Counts {
+		if c != wantCounts[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+	if m := snap.Mean(); m != snap.Sum/5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if q := snap.Quantile(0.99); q != 100 {
+		t.Fatalf("p99 = %g, want 100 (capped at last finite bound)", q)
+	}
+	if q := snap.Quantile(0.5); q <= 0 || q > 10 {
+		t.Fatalf("p50 = %g out of plausible range", q)
+	}
+}
+
+func TestSpanRecordsElapsedTime(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", "", nil)
+	sp := h.Start()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	snap, _ := r.Snapshot().Histogram("span_seconds")
+	if snap.Count != 1 {
+		t.Fatalf("span count = %d, want 1", snap.Count)
+	}
+	if snap.Sum < 0.001 {
+		t.Fatalf("span sum = %g, want >= 1ms", snap.Sum)
+	}
+}
+
+func TestNilRegistryAndHandlesNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.Start().End()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles reported values")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q (err %v)", buf.String(), err)
+	}
+}
+
+// TestDisabledPathAllocs is the nil-sink cost guard: instrumentation against
+// a disabled registry must not allocate — the whole point of the nil-safe
+// default is that production hot paths can stay instrumented unconditionally.
+func TestDisabledPathAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Add(1)
+		h.Observe(1)
+		h.Start().End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestEnabledPathAllocs keeps the recording side allocation-free too, so
+// enabling telemetry never introduces GC pressure on per-chunk paths.
+func TestEnabledPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Add(1)
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled-path allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges, and histograms from many
+// goroutines while snapshots and Prometheus scrapes run concurrently. Run
+// under -race in CI; the final counter and histogram totals must be exact.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_seconds", "", nil)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers: snapshots and scrapes must not race writers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Snapshot()
+				_ = r.WritePrometheus(nullWriter{})
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%7) * 1e-4)
+				sp := h.Start()
+				sp.End()
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	snap := r.Snapshot()
+	if v, _ := snap.Counter("hammer_total"); v != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", v, workers*perWorker)
+	}
+	if v, _ := snap.Gauge("hammer_gauge"); v != 0 {
+		t.Fatalf("gauge = %d, want 0", v)
+	}
+	hv, _ := snap.Histogram("hammer_seconds")
+	if hv.Count != 2*workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hv.Count, 2*workers*perWorker)
+	}
+	var bucketSum int64
+	for _, b := range hv.Counts {
+		bucketSum += b
+	}
+	if bucketSum != hv.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, hv.Count)
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestPrometheusTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("primacy_test_total", "things counted").Add(3)
+	r.Gauge("primacy_test_depth", "queue depth").Set(2)
+	h := r.Histogram("primacy_test_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE primacy_test_total counter",
+		"primacy_test_total 3",
+		"# TYPE primacy_test_depth gauge",
+		"primacy_test_depth 2",
+		"# TYPE primacy_test_seconds histogram",
+		`primacy_test_seconds_bucket{le="0.1"} 1`,
+		`primacy_test_seconds_bucket{le="1"} 1`,
+		`primacy_test_seconds_bucket{le="+Inf"} 2`,
+		"primacy_test_seconds_sum 5.05",
+		"primacy_test_seconds_count 2",
+		"# HELP primacy_test_total things counted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(9)
+	r.Histogram("b_seconds", "", nil).Observe(0.25)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a_total") || !strings.Contains(out, "9") {
+		t.Fatalf("text dump missing counter: %s", out)
+	}
+	if !strings.Contains(out, "b_seconds") || !strings.Contains(out, "count=1") {
+		t.Fatalf("text dump missing histogram: %s", out)
+	}
+}
+
+// BenchmarkDisabledSink measures the cost instrumentation adds when
+// telemetry is off: one nil check per event, zero allocations. This is the
+// guard the issue requires for the disabled path.
+func BenchmarkDisabledSink(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x", "")
+	h := r.Histogram("y", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		sp := h.Start()
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSink measures the recording cost with telemetry on.
+func BenchmarkEnabledSink(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x", "")
+	h := r.Histogram("y", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(1e-4)
+	}
+}

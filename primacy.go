@@ -34,6 +34,7 @@ import (
 	"primacy/internal/pipeline"
 	"primacy/internal/retry"
 	"primacy/internal/stream"
+	"primacy/internal/telemetry"
 )
 
 // Options configures the codec. The zero value selects the paper's
@@ -403,4 +404,36 @@ func DatasetByName(name string) (DatasetSpec, bool) {
 // user-controlled linearization experiment).
 func PermuteValues(values []float64, seed int64) []float64 {
 	return datagen.Permute(values, seed)
+}
+
+// Metrics is a telemetry registry: a set of named counters, gauges, and
+// histograms every subsystem reports into once EnableTelemetry routes them
+// there. Safe for concurrent use; expose it over HTTP with its
+// MetricsHandler method, dump it with WriteText/WritePrometheus, or read it
+// programmatically with Snapshot.
+type Metrics = telemetry.Registry
+
+// MetricsSnapshot is a point-in-time, sorted copy of every metric in a
+// registry.
+type MetricsSnapshot = telemetry.Snapshot
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// EnableTelemetry routes every subsystem's metrics — codec stage timers
+// (the paper's α₁/α₂ decomposition), byte throughput, degraded-chunk and
+// salvage-fault counts, pipeline shard timing, stream segment accounting,
+// archive entry accounting, governor admission waits and queue depth, and
+// retry attempts/backoff — to m. A nil m disables recording; the disabled
+// hot path costs one atomic load and nil check, with no allocation.
+//
+// The routing is process-wide (one registry at a time), matching how a
+// metrics endpoint is deployed; call EnableTelemetry(nil) to stop recording.
+func EnableTelemetry(m *Metrics) {
+	core.EnableTelemetry(m)
+	pipeline.EnableTelemetry(m)
+	stream.EnableTelemetry(m)
+	archive.EnableTelemetry(m)
+	governor.EnableTelemetry(m)
+	retry.EnableTelemetry(m)
 }
