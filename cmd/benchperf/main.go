@@ -28,10 +28,15 @@ func main() {
 	out := flag.String("o", "", "write baseline JSON to this file (stdout when empty)")
 	flag.Parse()
 
-	base, err := experiments.ThroughputBaseline(experiments.PerfConfig{
+	cfg := experiments.PerfConfig{
 		N:       *n,
 		MinTime: *minTime,
-	})
+	}
+	base, err := experiments.ThroughputBaseline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Overhead, err = experiments.MeasureOverhead(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,5 +57,9 @@ func main() {
 	for _, e := range base.Entries {
 		fmt.Printf("%-6s %-12s ratio %5.2f  CTP %7.2f MB/s  DTP %7.2f MB/s  allocs %.0f/%.0f\n",
 			e.Solver, e.Dataset, e.Ratio, e.CTPMBps, e.DTPMBps, e.CompressAllocs, e.DecompressAllocs)
+	}
+	if o := base.Overhead; o != nil {
+		fmt.Printf("observability overhead (%s): disabled %.2fms/op  telemetry %.2fms/op  tracing %.2fms/op (%+.1f%%)\n",
+			o.Dataset, o.DisabledNsPerOp/1e6, o.TelemetryNsPerOp/1e6, o.TracingNsPerOp/1e6, o.TracingOverheadPct())
 	}
 }

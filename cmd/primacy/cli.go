@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"time"
 
@@ -37,12 +38,32 @@ const usageText = `usage:
   primacy -d [-salvage] [-workers N] [-o out.f64] input.prm
   primacy -stats input.f64
   primacy stats [-workers N] [-metrics-addr host:port] input.f64
+  primacy trace [-workers N] [-span NAME] [-anomalies] input.f64
+  primacy model [-workers N] [-rho N] [-theta MBs] [-mu-write MBs] [-mu-read MBs] input.f64
   primacy verify file.prm
 
 stats compresses the input with telemetry enabled and prints every counter,
 gauge, and stage-time histogram. -metrics-addr (usable with any command)
 serves the same metrics over HTTP in Prometheus text format at /metrics;
 -metrics-hold keeps the endpoint up after the run finishes.
+
+trace compresses the input with structured tracing enabled and dumps the
+flight recorder: per-chunk codec stage spans, pipeline shard spans, and
+every anomaly (degraded chunks, salvage faults, retry exhaustion, governor
+cancellations). -span filters by span name, -anomalies keeps anomalous
+spans only. -trace-out FILE (usable with any command) streams every span as
+JSONL while the run executes.
+
+model runs a compress+decompress round trip with telemetry and tracing
+enabled, fits the paper's Section III performance model to the measured
+stage rates and byte counters (alpha1, alpha2, sigma_ho, sigma_lo, delta),
+and prints the predicted end-to-end write/read throughput under the staging
+environment given by -rho/-theta/-mu-write/-mu-read, plus the residual
+between the model's compute-side prediction and the observed rate.
+
+-pprof-addr (usable with any command) serves net/http/pprof at
+http://ADDR/debug/pprof/; worker goroutines are labeled with
+primacy_stage/primacy_shard when tracing is on.
 
 exit codes:
   0    success
@@ -106,14 +127,38 @@ type cli struct {
 	// closed.
 	metricsURL   string
 	metricsReady chan struct{}
+
+	// Tracing surface: the `trace` subcommand dumps the flight recorder
+	// after the run; -trace-out streams spans as JSONL during any command;
+	// -span / -anomalies filter the dump.
+	traceDump     bool
+	traceOut      string
+	spanFilter    string
+	anomaliesOnly bool
+
+	// Model surface: the `model` subcommand fits Section III to a measured
+	// round trip under the environment parameters below (-rho and MB/s
+	// flags, defaulting to the Figure 4 staging environment).
+	modelDump bool
+	rho       float64
+	thetaMBs  float64
+	muWriteMB float64
+	muReadMB  float64
+
+	// pprof surface: -pprof-addr serves net/http/pprof during the run.
+	pprofAddr  string
+	pprofURL   string
+	pprofReady chan struct{}
 }
 
 // parseArgs builds a cli from argv (excluding the program name).
 func parseArgs(args []string) (*cli, error) {
-	c := &cli{metricsReady: make(chan struct{})}
+	c := &cli{metricsReady: make(chan struct{}), pprofReady: make(chan struct{})}
 	// Subcommand forms: `primacy verify <file>` checks integrity without
 	// producing output; `primacy stats <file>` compresses with telemetry
-	// enabled and dumps every metric.
+	// enabled and dumps every metric; `primacy trace <file>` compresses with
+	// tracing enabled and dumps the flight recorder; `primacy model <file>`
+	// fits the Section III model to a measured round trip.
 	if len(args) > 0 {
 		switch args[0] {
 		case "verify":
@@ -121,6 +166,12 @@ func parseArgs(args []string) (*cli, error) {
 			args = args[1:]
 		case "stats":
 			c.telemDump = true
+			args = args[1:]
+		case "trace":
+			c.traceDump = true
+			args = args[1:]
+		case "model":
+			c.modelDump = true
 			args = args[1:]
 		}
 	}
@@ -147,6 +198,14 @@ func parseArgs(args []string) (*cli, error) {
 	fs.BoolVar(&c.float32el, "f32", false, "treat input as float32 elements")
 	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics during the run")
 	fs.DurationVar(&c.metricsHold, "metrics-hold", 0, "with -metrics-addr: keep the endpoint up this long after the run")
+	fs.StringVar(&c.traceOut, "trace-out", "", "stream every trace span as JSONL to FILE during the run")
+	fs.StringVar(&c.spanFilter, "span", "", "with trace: only dump spans with this exact name")
+	fs.BoolVar(&c.anomaliesOnly, "anomalies", false, "with trace: only dump anomaly-tagged spans")
+	fs.Float64Var(&c.rho, "rho", 8, "with model: compute-to-I/O node ratio")
+	fs.Float64Var(&c.thetaMBs, "theta", 1200, "with model: collective network throughput (MB/s)")
+	fs.Float64Var(&c.muWriteMB, "mu-write", 12, "with model: disk write throughput (MB/s)")
+	fs.Float64Var(&c.muReadMB, "mu-read", 200, "with model: disk read throughput (MB/s)")
+	fs.StringVar(&c.pprofAddr, "pprof-addr", "", "serve net/http/pprof at http://ADDR/debug/pprof/ during the run")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -166,6 +225,21 @@ func parseArgs(args []string) (*cli, error) {
 	if c.telemDump {
 		if c.compress || c.decompress {
 			return nil, errors.New("stats takes no -c / -d flags")
+		}
+		return c, nil
+	}
+	if c.traceDump {
+		if c.compress || c.decompress {
+			return nil, errors.New("trace takes no -c / -d flags")
+		}
+		return c, nil
+	}
+	if c.modelDump {
+		if c.compress || c.decompress {
+			return nil, errors.New("model takes no -c / -d flags")
+		}
+		if c.rho <= 0 || c.thetaMBs <= 0 || c.muWriteMB <= 0 || c.muReadMB <= 0 {
+			return nil, errors.New("model environment parameters must be positive")
 		}
 		return c, nil
 	}
@@ -206,15 +280,48 @@ func (c *cli) run(w io.Writer) error {
 
 // runCtx is run with cancellation: a done ctx (e.g. SIGINT) aborts between
 // chunks/shards and surfaces as ctx.Err(), which main maps to exit 130.
-func (c *cli) runCtx(ctx context.Context, w io.Writer) error {
+func (c *cli) runCtx(ctx context.Context, w io.Writer) (err error) {
 	var reg *primacy.Metrics
-	if c.telemDump || c.metricsAddr != "" {
+	if c.telemDump || c.modelDump || c.metricsAddr != "" {
 		reg = primacy.NewMetrics()
 		primacy.EnableTelemetry(reg)
 		defer primacy.EnableTelemetry(nil)
 	}
+	var tr *primacy.Tracer
+	if c.traceDump || c.modelDump || c.traceOut != "" {
+		var cfg primacy.TraceConfig
+		if c.traceOut != "" {
+			tf, ferr := os.Create(c.traceOut)
+			if ferr != nil {
+				return fmt.Errorf("trace output: %w", ferr)
+			}
+			cfg.Out = tf
+			// Registered before EnableTracing's defer, so tracing is already
+			// off (and no span can race the sink) when the file closes.
+			defer func() {
+				if cerr := tf.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}()
+		}
+		tr = primacy.NewTracer(cfg)
+		primacy.EnableTracing(tr)
+		defer func() {
+			primacy.EnableTracing(nil)
+			if serr := tr.Err(); serr != nil && err == nil {
+				err = fmt.Errorf("trace sink: %w", serr)
+			}
+		}()
+	}
 	if c.metricsAddr != "" {
 		stop, err := c.serveMetrics(w, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if c.pprofAddr != "" {
+		stop, err := c.servePprof(w)
 		if err != nil {
 			return err
 		}
@@ -229,6 +336,10 @@ func (c *cli) runCtx(ctx context.Context, w io.Writer) error {
 		err = c.runVerify(w, data)
 	case c.telemDump:
 		err = c.runTelemetryDump(ctx, w, data, reg)
+	case c.traceDump:
+		err = c.runTrace(ctx, w, data, tr)
+	case c.modelDump:
+		err = c.runModel(ctx, w, data, reg, tr)
 	case c.compress:
 		err = c.runCompress(ctx, w, data)
 	default:
@@ -254,6 +365,29 @@ func (c *cli) serveMetrics(w io.Writer, reg *primacy.Metrics) (func(), error) {
 	fmt.Fprintf(w, "metrics: %s\n", c.metricsURL)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.MetricsHandler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
+}
+
+// servePprof starts a net/http/pprof endpoint on an explicit mux (nothing
+// else in this process registers on the default mux, and an explicit mux
+// keeps it that way); the returned func shuts it down. The bound URL lands
+// in c.pprofURL.
+func (c *cli) servePprof(w io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", c.pprofAddr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	c.pprofURL = fmt.Sprintf("http://%s/debug/pprof/", ln.Addr())
+	close(c.pprofReady)
+	fmt.Fprintf(w, "pprof: %s\n", c.pprofURL)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return func() { srv.Close() }, nil
@@ -285,6 +419,91 @@ func (c *cli) runTelemetryDump(ctx context.Context, w io.Writer, data []byte, re
 	}
 	fmt.Fprintf(w, "%s: %d -> %d bytes (%.3fx)\n", c.input, len(data), len(enc), float64(len(data))/float64(len(enc)))
 	return reg.WriteText(w)
+}
+
+// runTrace compresses the input with tracing routed to tr and dumps the
+// flight recorder, honoring the -span and -anomalies filters.
+func (c *cli) runTrace(ctx context.Context, w io.Writer, data []byte, tr *primacy.Tracer) error {
+	opts := c.options()
+	enc, err := primacy.ParallelCompressCtx(ctx, data, primacy.ParallelOptions{Core: opts, Workers: c.workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d -> %d bytes (%.3fx)\n", c.input, len(data), len(enc), float64(len(data))/float64(len(enc)))
+	return tr.WriteText(w, primacy.TraceDumpOptions{NameFilter: c.spanFilter, AnomaliesOnly: c.anomaliesOnly})
+}
+
+// runModel runs a compress+decompress round trip with telemetry and tracing
+// on, fits the Section III model to the measurements, and prints the
+// estimated parameters, predicted throughput, and model residual.
+func (c *cli) runModel(ctx context.Context, w io.Writer, data []byte, reg *primacy.Metrics, tr *primacy.Tracer) error {
+	opts := c.options()
+	popts := primacy.ParallelOptions{Core: opts, Workers: c.workers}
+	enc, err := primacy.ParallelCompressCtx(ctx, data, popts)
+	if err != nil {
+		return err
+	}
+	if _, err := primacy.ParallelDecompressCtx(ctx, enc, popts); err != nil {
+		return err
+	}
+	stages := primacy.StageSeconds{}
+	for name, d := range tr.StageTotals() {
+		stages[name] = d.Seconds()
+	}
+	env := primacy.ModelParams{
+		ChunkBytes: float64(c.chunk),
+		Rho:        c.rho,
+		Theta:      c.thetaMBs * 1e6,
+		MuWrite:    c.muWriteMB * 1e6,
+		MuRead:     c.muReadMB * 1e6,
+	}
+	est, err := primacy.EstimateModelWithStages(reg.Snapshot(), stages, env)
+	if err != nil {
+		return err
+	}
+	p := est.Params
+	fmt.Fprintf(w, "%s: %d -> %d bytes over %d chunks (%d degraded)\n",
+		c.input, est.RawBytes, est.CompressedBytes, est.Chunks, est.DegradedChunks)
+	fmt.Fprintf(w, "measured: alpha1=%.3f alpha2=%.3f sigma_ho=%.4f sigma_lo=%.4f delta=%.1f B/chunk\n",
+		p.Alpha1, p.Alpha2, p.SigmaHo, p.SigmaLo, p.MetaBytes)
+	fmt.Fprintf(w, "rates: prec=%.1f MB/s solver=%.1f MB/s", est.PrecBps/1e6, est.SolverBps/1e6)
+	if est.HasRead {
+		fmt.Fprintf(w, " dec_prec=%.1f MB/s dec_solver=%.1f MB/s", est.DecompPrecBps/1e6, est.DecompSolverBps/1e6)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "environment: rho=%.0f theta=%.0f MB/s mu_write=%.0f MB/s mu_read=%.0f MB/s chunk=%.0f B\n",
+		p.Rho, p.Theta/1e6, p.MuWrite/1e6, p.MuRead/1e6, p.ChunkBytes)
+	fmt.Fprintf(w, "predicted write: %.2f MB/s (vs %.2f MB/s uncompressed baseline)\n",
+		est.Write.Throughput/1e6, baselineMBs(p, true))
+	if est.HasRead {
+		fmt.Fprintf(w, "predicted read:  %.2f MB/s (vs %.2f MB/s uncompressed baseline)\n",
+			est.Read.Throughput/1e6, baselineMBs(p, false))
+	}
+	fmt.Fprintf(w, "model residual (write compute side): predicted %.1f MB/s vs observed %.1f MB/s = %.1f%%\n",
+		est.PredictedWriteComputeBps/1e6, est.ObservedWriteComputeBps/1e6, 100*est.WriteResidual)
+	if est.HasRead {
+		fmt.Fprintf(w, "model residual (read compute side):  predicted %.1f MB/s vs observed %.1f MB/s = %.1f%%\n",
+			est.PredictedReadComputeBps/1e6, est.ObservedReadComputeBps/1e6, 100*est.ReadResidual)
+	}
+	return nil
+}
+
+// baselineMBs is the modeled no-compression throughput in MB/s (0 when the
+// environment cannot be evaluated).
+func baselineMBs(p primacy.ModelParams, write bool) float64 {
+	var (
+		b   primacy.ModelBreakdown
+		err error
+	)
+	if write {
+		b, err = p.WriteNoCompression()
+	} else {
+		b, err = p.ReadNoCompression()
+	}
+	if err != nil {
+		return 0
+	}
+	return b.Throughput / 1e6
 }
 
 // runVerify checks the integrity of any PRIMACY artifact and reports every

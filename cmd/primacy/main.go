@@ -6,11 +6,20 @@
 //	primacy -c [-solver zlib] [-chunk 3145728] [-workers N] [-o out.prm] input.f64
 //	primacy -d [-salvage] [-workers N] [-o out.f64] input.prm
 //	primacy -stats input.f64
+//	primacy stats [-metrics-addr host:port] input.f64
+//	primacy trace [-span NAME] [-anomalies] input.f64
+//	primacy model [-rho N] [-theta MBs] [-mu-write MBs] [-mu-read MBs] input.f64
 //	primacy verify file.prm
 //
 // verify checks the CRC32C checksums and structure of any PRIMACY artifact
 // (core/parallel container, stream, or archive) and exits non-zero when
 // corruption is found; -d -salvage recovers what a damaged file still holds.
+//
+// trace dumps the structured-tracing flight recorder after a traced
+// compression; model fits the paper's Section III performance model to a
+// measured round trip and prints predicted throughput plus the model
+// residual. -trace-out streams spans as JSONL and -pprof-addr serves
+// net/http/pprof during any command.
 //
 // Exit codes: 0 success, 1 operational failure, 2 corruption detected,
 // 64 usage error, 130 cancelled by SIGINT/SIGTERM (see -h).

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"primacy"
+)
+
+// `primacy trace` compresses with tracing enabled and dumps the flight
+// recorder: codec stage spans nested under chunk, shard, and root spans.
+func TestTraceSubcommandDumpsSpans(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestInput(t, dir, 8192)
+	c, err := parseArgs([]string{"trace", "-chunk", "8192", in})
+	if err != nil {
+		t.Fatalf("parseArgs: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pipeline.compress",
+		"pipeline.shard",
+		"core.chunk",
+		"core.stage.bytesplit",
+		"core.stage.solver",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// -span filters the dump to one span name.
+func TestTraceSubcommandSpanFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestInput(t, dir, 8192)
+	c, err := parseArgs([]string{"trace", "-chunk", "8192", "-span", "core.chunk", in})
+	if err != nil {
+		t.Fatalf("parseArgs: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "core.chunk") {
+		t.Fatalf("filtered dump missing core.chunk:\n%s", out)
+	}
+	if strings.Contains(out, "pipeline.shard") || strings.Contains(out, "core.stage.") {
+		t.Fatalf("-span core.chunk leaked other spans:\n%s", out)
+	}
+}
+
+// trace and model reject -c / -d like the other subcommands, and model
+// validates its environment parameters.
+func TestTraceModelSubcommandValidation(t *testing.T) {
+	for i, args := range [][]string{
+		{"trace", "-c", "file"},
+		{"model", "-d", "file"},
+		{"model", "-rho", "0", "file"},
+		{"model", "-mu-write", "-3", "file"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("case %d (%v): accepted", i, args)
+		}
+	}
+}
+
+// `primacy model` runs a measured round trip and prints the fitted Section
+// III parameters, predicted throughput, and a finite residual.
+func TestModelSubcommandPrintsEstimate(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestInput(t, dir, 8192)
+	c, err := parseArgs([]string{"model", "-chunk", "8192", in})
+	if err != nil {
+		t.Fatalf("parseArgs: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"alpha1=0.250", // 2 of 8 bytes go to the ID mapper
+		"sigma_ho=",
+		"delta=",
+		"predicted write:",
+		"predicted read:",
+		"model residual",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("model output missing %q:\n%s", want, out)
+		}
+	}
+	// The residual must be a finite percentage.
+	m := regexp.MustCompile(`= ([0-9.]+)%`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no residual percentage in:\n%s", out)
+	}
+	if _, err := strconv.ParseFloat(m[1], 64); err != nil {
+		t.Fatalf("residual %q not a number: %v", m[1], err)
+	}
+}
+
+// -trace-out streams every span as one JSON object per line, composing with
+// the ordinary -c path.
+func TestTraceOutWritesJSONL(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestInput(t, dir, 8192)
+	traceFile := filepath.Join(dir, "run.jsonl")
+	c, err := parseArgs([]string{"-c", "-chunk", "8192", "-o", filepath.Join(dir, "out.prm"), "-trace-out", traceFile, in})
+	if err != nil {
+		t.Fatalf("parseArgs: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("only %d JSONL lines", len(lines))
+	}
+	names := map[string]bool{}
+	for i, line := range lines {
+		var rec struct {
+			ID    uint64 `json:"id"`
+			Name  string `json:"name"`
+			DurUS int64  `json:"dur_us"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON (%v): %s", i+1, err, line)
+		}
+		if rec.ID == 0 || rec.Name == "" {
+			t.Fatalf("line %d missing id/name: %s", i+1, line)
+		}
+		names[rec.Name] = true
+	}
+	for _, want := range []string{"core.compress", "core.chunk", "pipeline.shard"} {
+		if !names[want] {
+			t.Errorf("JSONL missing span %q (have %v)", want, names)
+		}
+	}
+}
+
+// -pprof-addr serves the standard pprof index and profiles on an explicit
+// mux.
+func TestPprofEndpoint(t *testing.T) {
+	c := &cli{pprofAddr: "127.0.0.1:0", pprofReady: make(chan struct{})}
+	stop, err := c.servePprof(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	<-c.pprofReady
+	resp, err := http.Get(c.pprofURL + "cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %scmdline = %d, want 200", c.pprofURL, resp.StatusCode)
+	}
+}
+
+// The metrics endpoint advertises the Prometheus text exposition version,
+// 404s unknown paths instead of serving them, and 405s non-GET methods.
+func TestMetricsEndpointContentTypeAndErrors(t *testing.T) {
+	c := &cli{metricsAddr: "127.0.0.1:0", metricsReady: make(chan struct{})}
+	reg := primacy.NewMetrics()
+	stop, err := c.serveMetrics(io.Discard, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	<-c.metricsReady
+
+	resp, err := http.Get(c.metricsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text/plain; version=0.0.4 prefix", got)
+	}
+
+	base := strings.TrimSuffix(c.metricsURL, "/metrics")
+	resp, err = http.Get(base + "/not-a-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /not-a-path = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Post(c.metricsURL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("405 Allow header = %q, want GET", allow)
+	}
+}

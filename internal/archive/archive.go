@@ -35,6 +35,7 @@ import (
 	"primacy/internal/checksum"
 	"primacy/internal/core"
 	"primacy/internal/retry"
+	"primacy/internal/trace"
 )
 
 // Archive magics: v1 is the original checksum-less layout, v2 adds framed
@@ -151,7 +152,7 @@ func (w *Writer) PutFloat64s(name string, step int, values []float64) error {
 // sink, so they do not poison the writer.
 var errEntryInvalid = errors.New("archive: invalid entry")
 
-func (w *Writer) put(name string, step int, values []float64) error {
+func (w *Writer) put(name string, step int, values []float64) (err error) {
 	if len(name) == 0 || len(name) > 65535 {
 		return fmt.Errorf("%w: variable name length %d out of range", errEntryInvalid, len(name))
 	}
@@ -166,7 +167,12 @@ func (w *Writer) put(name string, step int, values []float64) error {
 	if err := w.ctx.Err(); err != nil {
 		return err
 	}
-	enc, err := core.CompressCtx(w.ctx, bytesplit.Float64sToBytes(values), w.opts)
+	es := startSpan(trace.SpanFromContext(w.ctx), "archive.entry.put").
+		AttrStr("name", name).
+		Attr("step", int64(step)).
+		Attr("raw_bytes", int64(len(values)*8))
+	defer func() { es.End(err) }()
+	enc, err := core.CompressCtx(trace.ContextWithSpan(w.ctx, es), bytesplit.Float64sToBytes(values), w.opts)
 	if err != nil {
 		return err
 	}
@@ -470,9 +476,14 @@ func parseEntryHeader(b []byte) (entryHeader, error) {
 }
 
 // GetFloat64s reads one variable at one timestep.
-func (r *Reader) GetFloat64s(name string, step int) ([]float64, error) {
+func (r *Reader) GetFloat64s(name string, step int) (_ []float64, err error) {
 	for _, e := range r.toc {
 		if e.Name == name && int(e.Step) == step {
+			es := startSpan(trace.Span{}, "archive.entry.get").
+				AttrStr("name", name).
+				Attr("step", int64(step)).
+				Attr("raw_bytes", int64(e.RawLen))
+			defer func() { es.End(err) }()
 			body, err := r.entryBody(e)
 			if err != nil {
 				return nil, err

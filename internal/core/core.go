@@ -21,6 +21,7 @@ import (
 	"primacy/internal/freq"
 	"primacy/internal/isobar"
 	"primacy/internal/solver"
+	"primacy/internal/trace"
 )
 
 // Linearization selects how the ID matrix is laid out before the solver.
@@ -342,6 +343,11 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 		return nil, stats, err
 	}
 	m := tmet.Load()
+	// The call span nests under a container span (pipeline shard, stream
+	// segment) when the context carries one; each chunk gets a child span
+	// with per-stage children inside compressChunk.
+	cs := startSpan(trace.SpanFromContext(ctx), "core.compress").
+		Attr("raw_bytes", int64(len(data)))
 
 	out := make([]byte, 0, len(data)/2+256)
 	out = append(out, magicV2...)
@@ -368,9 +374,13 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 	)
 	for _, chunk := range chunks {
 		if err := ctx.Err(); err != nil {
+			cs.End(err)
 			return nil, stats, err
 		}
-		enc, ci, err := compressChunkSafe(chunk, sv, opts, lay, prevIndex, &c.sc, m)
+		chunkSpan := cs.Child("core.chunk").
+			Attr("chunk", int64(stats.Chunks)).
+			Attr("bytes", int64(len(chunk)))
+		enc, ci, err := compressChunkSafe(chunk, sv, opts, lay, prevIndex, &c.sc, m, chunkSpan)
 		if err != nil {
 			// Degraded mode: the solver faulted on this chunk (error or
 			// panic). Store the chunk raw so the container stays complete
@@ -379,6 +389,7 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 			// decode side where a raw record passes the live index through.
 			enc, ci = appendRawChunkRecord(&c.sc, chunk), chunkInfo{index: prevIndex}
 			stats.DegradedChunks++
+			chunkSpan.Anomaly(trace.KindDegradedChunk, err.Error())
 		}
 		prevIndex = ci.index
 		var sz [4]byte
@@ -399,6 +410,7 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 		stats.PrecSeconds += ci.precSecs
 		stats.SolverSeconds += ci.solverSecs
 		stats.SolverInputBytes += ci.solverInput
+		chunkSpan.End(nil)
 	}
 	stats.CompressedBytes = len(out)
 	if stats.Chunks > 0 {
@@ -416,7 +428,16 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 		m.rawBytes.Add(int64(stats.RawBytes))
 		m.compBytes.Add(int64(stats.CompressedBytes))
 		m.solverIn.Add(int64(stats.SolverInputBytes))
+		m.hiRawBytes.Add(int64(hiRaw))
+		m.hiCompBytes.Add(int64(hiComp))
+		m.loCompIn.Add(int64(loCompIn))
+		m.loCompOut.Add(int64(loCompOut))
+		m.indexBytes.Add(int64(stats.IndexBytes))
 	}
+	cs.Attr("compressed_bytes", int64(stats.CompressedBytes)).
+		Attr("chunks", int64(stats.Chunks)).
+		Attr("degraded", int64(stats.DegradedChunks)).
+		End(nil)
 	return out, stats, nil
 }
 
@@ -443,14 +464,19 @@ type chunkInfo struct {
 // compressChunk encodes one chunk into a record that aliases sc.enc; the
 // caller must copy it out before the next call reusing the same scratch.
 // m may be nil (telemetry disabled); when set, per-stage wall times and the
-// paper's α₁/α₂ stage decomposition are recorded as histograms.
-func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics) ([]byte, chunkInfo, error) {
+// paper's α₁/α₂ stage decomposition are recorded as histograms. cs is the
+// chunk's trace span (inert when tracing is off); stage child spans hang off
+// it. Stage spans on error paths are deliberately never ended — an un-ended
+// span is dropped, and the chunk-level degraded anomaly carries the fault.
+func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics, cs trace.Span) ([]byte, chunkInfo, error) {
 	var ci chunkInfo
 	precStart := time.Now()
+	stageSpan := cs.Child("core.stage.bytesplit")
 	hi, lo, err := lay.AppendSplit(sc.hi[:0], sc.lo[:0], chunk)
 	if err != nil {
 		return nil, ci, err
 	}
+	stageSpan.End(nil)
 	sc.hi, sc.lo = hi, lo
 	// splitEnd separates the byte-split stage from the ID-mapping stage in
 	// the telemetry decomposition; the clock is only read when recording.
@@ -462,6 +488,7 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 	ci.hiRaw = len(hi)
 
 	// High-order path: ID mapping + linearization + solver.
+	stageSpan = cs.Child("core.stage.freqmap")
 	var (
 		ids       []byte
 		indexBlob []byte
@@ -512,14 +539,17 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 		sc.col = ids
 	}
 	ci.precSecs += time.Since(precStart).Seconds()
+	stageSpan.End(nil)
 	if m != nil {
 		m.freqmapSeconds.Observe(time.Since(splitEnd).Seconds())
 	}
 	solverStart := time.Now()
+	stageSpan = cs.Child("core.stage.solver")
 	idsComp, err := solver.CompressTo(sv, sc.idsCmp[:0], ids)
 	if err != nil {
 		return nil, ci, err
 	}
+	stageSpan.End(nil)
 	sc.idsCmp = idsComp
 	d := time.Since(solverStart).Seconds()
 	ci.solverSecs += d
@@ -532,6 +562,7 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 
 	// Low-order path: ISOBAR partition + solver on the compressible part.
 	precStart = time.Now()
+	stageSpan = cs.Child("core.stage.isobar")
 	var mask uint64
 	if opts.DisableISOBAR {
 		mask = (1 << uint(lay.LoBytes())) - 1
@@ -551,14 +582,17 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 	sc.comp, sc.incomp = comp, incomp
 	d = time.Since(precStart).Seconds()
 	ci.precSecs += d
+	stageSpan.End(nil)
 	if m != nil {
 		m.isobarSeconds.Observe(d)
 	}
 	solverStart = time.Now()
+	stageSpan = cs.Child("core.stage.solver")
 	compOut, err := solver.CompressTo(sv, sc.cmpOut[:0], comp)
 	if err != nil {
 		return nil, ci, err
 	}
+	stageSpan.End(nil)
 	sc.cmpOut = compOut
 	d = time.Since(solverStart).Seconds()
 	ci.solverSecs += d
@@ -694,32 +728,46 @@ func (c *Codec) DecompressWithStatsCtx(ctx context.Context, data []byte) ([]byte
 		preTotal = 8 << 20
 	}
 	m := tmet.Load()
+	cs := startSpan(trace.SpanFromContext(ctx), "core.decompress").
+		Attr("container_bytes", int64(len(data)))
 	out := make([]byte, 0, preTotal)
 	pos := h.end
 	var prevIndex *freq.Index
+	chunkNo := int64(0)
 	for uint64(len(out)) < h.total {
 		if err := ctx.Err(); err != nil {
+			cs.End(err)
 			return nil, ds, err
 		}
 		rec, next, err := h.frame(data, pos)
 		if err != nil {
+			cs.End(err)
 			return nil, ds, err
 		}
-		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &c.sc, m)
+		chunkSpan := cs.Child("core.chunk.decode").Attr("chunk", chunkNo)
+		chunkNo++
+		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &c.sc, m, chunkSpan)
 		if err != nil {
+			chunkSpan.End(err)
+			cs.End(err)
 			return nil, ds, err
 		}
+		chunkSpan.Attr("bytes", int64(len(chunk))).End(nil)
 		prevIndex = idx
 		pos = next
 		out = append(out, chunk...)
 	}
 	if uint64(len(out)) != h.total {
-		return nil, ds, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), h.total)
+		err := fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), h.total)
+		cs.End(err)
+		return nil, ds, err
 	}
 	ds.RawBytes = len(out)
 	if m != nil {
 		m.decBytes.Add(int64(len(out)))
+		m.decSolverBytes.Add(int64(ds.SolverOutputBytes))
 	}
+	cs.Attr("raw_bytes", int64(len(out))).End(nil)
 	return out, ds, nil
 }
 
@@ -734,8 +782,10 @@ func DecompressFloat64s(data []byte) ([]float64, error) {
 
 // decompressChunk decodes one chunk record into a buffer that aliases sc;
 // the caller must copy the returned chunk out before the next call reusing
-// the same scratch. m may be nil (telemetry disabled).
-func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats, sc *scratch, m *coreMetrics) ([]byte, *freq.Index, error) {
+// the same scratch. m may be nil (telemetry disabled); cs is the chunk's
+// trace span (inert when tracing is off) — stage spans on error paths are
+// dropped un-ended, the caller records the error on the chunk span.
+func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats, sc *scratch, m *coreMetrics, cs trace.Span) ([]byte, *freq.Index, error) {
 	pos := 0
 	readU32 := func() (int, error) {
 		if pos+4 > len(rec) {
@@ -794,12 +844,14 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: truncated ID payload", ErrCorrupt)
 	}
 	solverStart := time.Now()
+	stageSpan := cs.Child("core.stage.dec_solver")
 	// The ID matrix size is known up front (n*HiBytes), so the pooled solver
 	// reader decompresses into pre-sized scratch without growth doubling.
 	ids, err := solver.DecompressTo(sv, capSlice(sc.ids, n*lay.HiBytes), rec[pos:pos+idsLen])
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: ID payload: %v", ErrCorrupt, err)
 	}
+	stageSpan.End(nil)
 	sc.ids = ids
 	d := time.Since(solverStart).Seconds()
 	ds.SolverSeconds += d
@@ -812,6 +864,7 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: ID matrix %d bytes, want %d", ErrCorrupt, len(ids), n*lay.HiBytes)
 	}
 	precStart := time.Now()
+	stageSpan = cs.Child("core.stage.dec_prec")
 	if lin == LinearizeColumns && len(ids) > 0 {
 		ids, err = bytesplit.AppendDecolumnize(sc.col[:0], ids, lay.HiBytes)
 		if err != nil {
@@ -842,6 +895,7 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 
 	d = time.Since(precStart).Seconds()
 	ds.PrecSeconds += d
+	stageSpan.End(nil)
 	if m != nil {
 		m.decPrecSeconds.Observe(d)
 	}
@@ -858,6 +912,7 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: truncated mantissa payload", ErrCorrupt)
 	}
 	solverStart = time.Now()
+	stageSpan = cs.Child("core.stage.dec_solver")
 	// Expected output size: one column of n bytes per mask bit within the
 	// low-order width (stray high mask bits are rejected by Unpartition).
 	nComp := bits.OnesCount64(mask & (1<<uint(lay.LoBytes()) - 1))
@@ -865,6 +920,7 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: mantissa payload: %v", ErrCorrupt, err)
 	}
+	stageSpan.End(nil)
 	sc.comp = comp
 	d = time.Since(solverStart).Seconds()
 	ds.SolverSeconds += d
@@ -886,6 +942,7 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: %d trailing bytes in chunk record", ErrCorrupt, len(rec)-pos)
 	}
 	precStart = time.Now()
+	stageSpan = cs.Child("core.stage.dec_prec")
 	lo, err := isobar.AppendUnpartition(sc.lo[:0], comp, incomp, lay.LoBytes(), mask, n)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -898,6 +955,7 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 	sc.chunk = chunk
 	d = time.Since(precStart).Seconds()
 	ds.PrecSeconds += d
+	stageSpan.End(nil)
 	if m != nil {
 		m.decPrecSeconds.Observe(d)
 	}

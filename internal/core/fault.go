@@ -8,6 +8,7 @@ import (
 	"primacy/internal/bytesplit"
 	"primacy/internal/freq"
 	"primacy/internal/solver"
+	"primacy/internal/trace"
 )
 
 // rawChunkFlag marks a chunk record that stores its payload uncompressed.
@@ -42,14 +43,14 @@ func (e *PanicError) Error() string {
 
 // compressChunkSafe runs compressChunk, converting a panic into a
 // *PanicError so the caller can degrade instead of crashing.
-func compressChunkSafe(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics) (enc []byte, ci chunkInfo, err error) {
+func compressChunkSafe(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics, cs trace.Span) (enc []byte, ci chunkInfo, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			enc, ci = nil, chunkInfo{}
 			err = &PanicError{Op: "compress chunk", Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return compressChunk(chunk, sv, opts, lay, prev, sc, m)
+	return compressChunk(chunk, sv, opts, lay, prev, sc, m, cs)
 }
 
 // appendRawChunkRecord encodes chunk as a degraded raw-passthrough record

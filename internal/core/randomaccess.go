@@ -109,7 +109,9 @@ func (r *ChunkReader) DecodeChunk(i int) ([]byte, error) {
 	var ds DecompStats
 	// Fresh scratch per call: the returned chunk aliases it, and DecodeChunk
 	// hands ownership to the caller.
-	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds, new(scratch), tmet.Load())
+	cs := ttrc.Load().Start("core.chunk.decode").Attr("chunk", int64(i))
+	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds, new(scratch), tmet.Load(), cs)
+	cs.End(err)
 	return chunk, err
 }
 

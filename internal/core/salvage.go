@@ -5,6 +5,7 @@ import (
 
 	"primacy/internal/freq"
 	"primacy/internal/solver"
+	"primacy/internal/trace"
 )
 
 // DecompressSalvage decompresses as much of a damaged container as possible.
@@ -36,6 +37,10 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 	}
 
 	m := tmet.Load()
+	cs := startSpan(trace.Span{}, "core.salvage").Attr("container_bytes", int64(len(data)))
+	if !h.crcOK {
+		cs.Anomaly(trace.KindSalvageFault, "header checksum mismatch")
+	}
 	preTotal := h.total
 	if preTotal > 8<<20 {
 		preTotal = 8 << 20
@@ -51,7 +56,7 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 		if err == nil {
 			var chunk []byte
 			var idx *freq.Index
-			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &sc, m)
+			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &sc, m, trace.Span{})
 			if err == nil {
 				prevIndex = idx
 				out = append(out, chunk...)
@@ -61,6 +66,8 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 			}
 		}
 		rep.Add(pos, chunkIdx, err)
+		cs.Anomaly(trace.KindSalvageFault,
+			fmt.Sprintf("chunk %d at offset %d: %v", chunkIdx, pos, err))
 		chunkIdx++
 		// A lost chunk may also have carried the index later IndexReuse
 		// chunks depend on; drop it so stale mappings are not applied.
@@ -69,14 +76,20 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 		if !ok {
 			break
 		}
+		cs.Event(trace.KindResync, fmt.Sprintf("resynced to offset %d", np))
 		pos = np
 	}
 	if uint64(len(out)) != h.total {
 		rep.Add(len(data), -1, fmt.Errorf("%w: recovered %d of %d bytes", ErrCorrupt, len(out), h.total))
+		cs.Anomaly(trace.KindSalvageFault,
+			fmt.Sprintf("recovered %d of %d bytes", len(out), h.total))
 	}
 	if m != nil {
 		m.salvageFaults.Add(int64(len(rep.Corruptions)))
 	}
+	cs.Attr("recovered_bytes", int64(len(out))).
+		Attr("faults", int64(len(rep.Corruptions))).
+		End(nil)
 	return out, rep, nil
 }
 

@@ -17,6 +17,14 @@ type coreMetrics struct {
 	rawBytes  *telemetry.Counter
 	compBytes *telemetry.Counter
 	solverIn  *telemetry.Counter
+	// Byte-level split accounting — the measured inputs of the Section-III
+	// model estimator (α₁ = hiRaw/raw, σ_ho = hiComp/hiRaw, α₂ and σ_lo from
+	// the low-order pair, δ = indexBytes/chunks).
+	hiRawBytes  *telemetry.Counter
+	hiCompBytes *telemetry.Counter
+	loCompIn    *telemetry.Counter
+	loCompOut   *telemetry.Counter
+	indexBytes  *telemetry.Counter
 	// Per-chunk stage wall time, mirroring the paper's decomposition: the
 	// α₁ share (byte split + frequency-ranked ID mapping) vs the α₂ share
 	// (ISOBAR analysis/partitioning) vs solver time proper.
@@ -26,6 +34,7 @@ type coreMetrics struct {
 	solverSeconds  *telemetry.Histogram
 	// Decompression accounting and stage time.
 	decBytes         *telemetry.Counter
+	decSolverBytes   *telemetry.Counter
 	decSolverSeconds *telemetry.Histogram
 	decPrecSeconds   *telemetry.Histogram
 	// Salvage accounting: faults recorded while recovering damaged input.
@@ -47,11 +56,17 @@ func EnableTelemetry(r *telemetry.Registry) {
 		rawBytes:         r.Counter("primacy_core_raw_bytes_total", "Input bytes compressed."),
 		compBytes:        r.Counter("primacy_core_compressed_bytes_total", "Container bytes produced."),
 		solverIn:         r.Counter("primacy_core_solver_input_bytes_total", "Bytes handed to the standard solver."),
+		hiRawBytes:       r.Counter("primacy_core_hi_raw_bytes_total", "High-order bytes entering the ID mapper (α₁ share of the input)."),
+		hiCompBytes:      r.Counter("primacy_core_hi_compressed_bytes_total", "Compressed high-order bytes including index metadata (σ_ho numerator)."),
+		loCompIn:         r.Counter("primacy_core_lo_compressible_bytes_total", "Low-order bytes ISOBAR classified compressible (α₂ share)."),
+		loCompOut:        r.Counter("primacy_core_lo_compressed_bytes_total", "Compressed low-order bytes (σ_lo numerator)."),
+		indexBytes:       r.Counter("primacy_core_index_bytes_total", "Frequency-index metadata bytes emitted (δ numerator)."),
 		splitSeconds:     r.Histogram("primacy_core_bytesplit_seconds", "Per-chunk byte-split stage time.", nil),
 		freqmapSeconds:   r.Histogram("primacy_core_freqmap_seconds", "Per-chunk ID-mapping and linearization time.", nil),
 		isobarSeconds:    r.Histogram("primacy_core_isobar_seconds", "Per-chunk ISOBAR analysis and partitioning time.", nil),
 		solverSeconds:    r.Histogram("primacy_core_solver_seconds", "Per-call solver compression time.", nil),
 		decBytes:         r.Counter("primacy_core_decompressed_bytes_total", "Bytes decompressed."),
+		decSolverBytes:   r.Counter("primacy_core_decompress_solver_bytes_total", "Raw bytes produced by solver decompression (T_decomp denominator)."),
 		decSolverSeconds: r.Histogram("primacy_core_decompress_solver_seconds", "Per-call solver decompression time.", nil),
 		decPrecSeconds:   r.Histogram("primacy_core_decompress_prec_seconds", "Per-chunk inverse-preconditioner time.", nil),
 		salvageFaults:    r.Counter("primacy_core_salvage_faults_total", "Faults recorded while salvaging damaged containers."),

@@ -9,6 +9,8 @@ import (
 
 	"primacy/internal/core"
 	"primacy/internal/datagen"
+	"primacy/internal/telemetry"
+	"primacy/internal/trace"
 )
 
 // PerfDatasets are the three representative datasets the throughput baseline
@@ -49,6 +51,27 @@ type PerfEntry struct {
 	DecompressAllocs float64 `json:"decompress_allocs"`
 }
 
+// OverheadEntry quantifies the observability layer's cost on the codec hot
+// path for one dataset: mean wall time per full-stream compression call
+// with the layer disabled, with telemetry recording, and with structured
+// tracing (flight recorder, no JSONL sink).
+type OverheadEntry struct {
+	Dataset          string  `json:"dataset"`
+	RawBytes         int     `json:"raw_bytes"`
+	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
+	TelemetryNsPerOp float64 `json:"telemetry_ns_per_op"`
+	TracingNsPerOp   float64 `json:"tracing_ns_per_op"`
+}
+
+// TracingOverheadPct is the tracing-enabled slowdown relative to disabled,
+// in percent (negative values mean measurement noise exceeded the cost).
+func (o OverheadEntry) TracingOverheadPct() float64 {
+	if o.DisabledNsPerOp <= 0 {
+		return 0
+	}
+	return 100 * (o.TracingNsPerOp - o.DisabledNsPerOp) / o.DisabledNsPerOp
+}
+
 // PerfBaseline is the machine-readable result the benchperf command writes
 // to BENCH_throughput.json and CI sanity-checks.
 type PerfBaseline struct {
@@ -58,6 +81,9 @@ type PerfBaseline struct {
 	NumCPU    int         `json:"num_cpu"`
 	Elements  int         `json:"elements_per_dataset"`
 	Entries   []PerfEntry `json:"entries"`
+	// Overhead is the observability-layer cost measurement (absent in
+	// baselines recorded before the tracing layer existed).
+	Overhead *OverheadEntry `json:"observability_overhead,omitempty"`
 }
 
 // ThroughputBaseline measures end-to-end compression/decompression
@@ -152,6 +178,75 @@ func measurePair(sv, ds string, raw []byte, minTime time.Duration) (PerfEntry, e
 	return entry, nil
 }
 
+// MeasureOverhead times the codec with the observability layer off, with
+// telemetry recording, and with tracing, on the first configured dataset.
+// The routing is process-wide state, so this must not run concurrently with
+// other codec users; both layers are restored to disabled on return.
+func MeasureOverhead(cfg PerfConfig) (*OverheadEntry, error) {
+	n := elemCount(cfg.N)
+	minTime := cfg.MinTime
+	if minTime <= 0 {
+		minTime = 200 * time.Millisecond
+	}
+	ds := PerfDatasets[0]
+	if len(cfg.Datasets) > 0 {
+		ds = cfg.Datasets[0]
+	}
+	spec, ok := datagen.ByName(ds)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown dataset %q", ds)
+	}
+	raw := spec.GenerateBytes(n)
+	var codec core.Codec
+	opts := core.Options{}
+	compress := func() error {
+		_, err := codec.Compress(raw, opts)
+		return err
+	}
+	out := &OverheadEntry{Dataset: ds, RawBytes: len(raw)}
+
+	core.EnableTelemetry(nil)
+	core.EnableTracing(nil)
+	disabled, err := timeNsPerOp(minTime, compress)
+	if err != nil {
+		return nil, err
+	}
+	out.DisabledNsPerOp = disabled
+
+	reg := telemetry.NewRegistry()
+	core.EnableTelemetry(reg)
+	withTelem, err := timeNsPerOp(minTime, compress)
+	core.EnableTelemetry(nil)
+	if err != nil {
+		return nil, err
+	}
+	out.TelemetryNsPerOp = withTelem
+
+	tr := trace.New(trace.Config{})
+	core.EnableTracing(tr)
+	withTrace, err := timeNsPerOp(minTime, compress)
+	core.EnableTracing(nil)
+	if err != nil {
+		return nil, err
+	}
+	out.TracingNsPerOp = withTrace
+	return out, nil
+}
+
+// timeNsPerOp repeats op until minTime elapses and reports the mean wall
+// time per call in nanoseconds.
+func timeNsPerOp(minTime time.Duration, op func() error) (float64, error) {
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < minTime {
+		if err := op(); err != nil {
+			return 0, err
+		}
+		reps++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
+}
+
 // allocsPerRun mirrors testing.AllocsPerRun (single-threaded, warm-up call,
 // mallocs averaged over runs) without pulling package testing into the
 // library import graph.
@@ -207,6 +302,20 @@ func (b *PerfBaseline) Check() error {
 		}
 		if e.CompressAllocs < 0 || e.DecompressAllocs < 0 {
 			return fmt.Errorf("experiments: %s/%s: negative alloc counts", e.Solver, e.Dataset)
+		}
+	}
+	if o := b.Overhead; o != nil {
+		if o.Dataset == "" || o.RawBytes <= 0 {
+			return fmt.Errorf("experiments: overhead entry missing dataset/size: %+v", o)
+		}
+		for name, v := range map[string]float64{
+			"disabled_ns_per_op":  o.DisabledNsPerOp,
+			"telemetry_ns_per_op": o.TelemetryNsPerOp,
+			"tracing_ns_per_op":   o.TracingNsPerOp,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("experiments: overhead %s = %v not finite and positive", name, v)
+			}
 		}
 	}
 	return nil

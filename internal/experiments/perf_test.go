@@ -37,6 +37,35 @@ func TestThroughputBaselineSanity(t *testing.T) {
 	}
 }
 
+// MeasureOverhead populates all three timing modes, passes Check, and
+// leaves both observability layers disabled.
+func TestMeasureOverheadSanity(t *testing.T) {
+	o, err := MeasureOverhead(PerfConfig{
+		N: 4 << 10, MinTime: time.Millisecond, Datasets: []string{"flash_velx"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dataset != "flash_velx" || o.RawBytes != 4<<10*8 {
+		t.Fatalf("entry metadata wrong: %+v", o)
+	}
+	if o.DisabledNsPerOp <= 0 || o.TelemetryNsPerOp <= 0 || o.TracingNsPerOp <= 0 {
+		t.Fatalf("timings not populated: %+v", o)
+	}
+	base := &PerfBaseline{
+		GoVersion: "go", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		Entries:  []PerfEntry{{Solver: "zlib", Dataset: "d", RawBytes: 1, CompressedBytes: 1, Ratio: 1, CTPMBps: 1, DTPMBps: 1}},
+		Overhead: o,
+	}
+	if err := base.Check(); err != nil {
+		t.Fatal(err)
+	}
+	base.Overhead = &OverheadEntry{Dataset: "d", RawBytes: 1}
+	if err := base.Check(); err == nil {
+		t.Fatal("zero overhead timings accepted")
+	}
+}
+
 func TestThroughputBaselineUnknownDataset(t *testing.T) {
 	_, err := ThroughputBaseline(PerfConfig{
 		N: 1 << 10, MinTime: time.Millisecond, Datasets: []string{"no_such"},

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"primacy/internal/telemetry"
+	"primacy/internal/trace"
 )
 
 // Governor admits units of work against a memory budget and a concurrency
@@ -118,8 +119,13 @@ func (g *Governor) Acquire(ctx context.Context, bytes int64) error {
 		m.queueDepth.Add(1)
 		sp = m.waitSeconds.Start()
 	}
+	// The fast path stays span-free; only an actual wait is worth a trace
+	// record.
+	ts := startSpan(trace.SpanFromContext(ctx), "governor.wait").Attr("bytes", bytes)
+	ts.Event(trace.KindGovernorWait, "admission blocked on budget")
 	select {
 	case <-w.ready:
+		ts.End(nil)
 		if m != nil {
 			sp.End()
 			m.acquires.Inc()
@@ -137,6 +143,8 @@ func (g *Governor) Acquire(ctx context.Context, bytes int64) error {
 				m.cancelled.Inc()
 			}
 			g.Release(bytes)
+			ts.Anomaly(trace.KindGovernorCancelled, "wait cancelled after grant raced cancellation")
+			ts.End(ctx.Err())
 			return ctx.Err()
 		}
 		for i, q := range g.waiters {
@@ -150,6 +158,8 @@ func (g *Governor) Acquire(ctx context.Context, bytes int64) error {
 			m.cancelled.Inc()
 			m.queueDepth.Add(-1)
 		}
+		ts.Anomaly(trace.KindGovernorCancelled, "wait cancelled before admission")
+		ts.End(ctx.Err())
 		return ctx.Err()
 	}
 }

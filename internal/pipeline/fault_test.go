@@ -13,6 +13,7 @@ import (
 
 	"primacy/internal/core"
 	"primacy/internal/governor"
+	"primacy/internal/trace"
 )
 
 func shardTestData(n int, seed int64) []byte {
@@ -58,7 +59,7 @@ func TestRunShardsFirstErrorCancelsRest(t *testing.T) {
 	boom := errors.New("shard fault")
 	var ran atomic.Int64
 	const n = 64
-	err := runShards(context.Background(), Options{Workers: 2}, n,
+	err := runShards(context.Background(), Options{Workers: 2}, "compress", trace.Span{}, n,
 		func(ctx context.Context, codec *core.Codec, i int) error {
 			ran.Add(1)
 			if i == 0 {
@@ -80,7 +81,7 @@ func TestRunShardsFirstErrorCancelsRest(t *testing.T) {
 }
 
 func TestRunShardsPanicBecomesShardError(t *testing.T) {
-	err := runShards(context.Background(), Options{Workers: 4}, 8,
+	err := runShards(context.Background(), Options{Workers: 4}, "compress", trace.Span{}, 8,
 		func(ctx context.Context, codec *core.Codec, i int) error {
 			if i == 3 {
 				panic("worker fault")
@@ -107,13 +108,13 @@ func TestRunShardsNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for round := 0; round < 20; round++ {
 		// Success path.
-		if err := runShards(context.Background(), Options{Workers: 8}, 32,
+		if err := runShards(context.Background(), Options{Workers: 8}, "compress", trace.Span{}, 32,
 			func(ctx context.Context, codec *core.Codec, i int) error { return nil },
 			func(i int) int64 { return 1 }); err != nil {
 			t.Fatal(err)
 		}
 		// Error path.
-		runShards(context.Background(), Options{Workers: 8}, 32,
+		runShards(context.Background(), Options{Workers: 8}, "compress", trace.Span{}, 32,
 			func(ctx context.Context, codec *core.Codec, i int) error {
 				if i%5 == 0 {
 					return errors.New("fault")
@@ -124,7 +125,7 @@ func TestRunShardsNoGoroutineLeak(t *testing.T) {
 		// External cancellation mid-flight.
 		ctx, cancel := context.WithCancel(context.Background())
 		go cancel()
-		runShards(ctx, Options{Workers: 8}, 32,
+		runShards(ctx, Options{Workers: 8}, "compress", trace.Span{}, 32,
 			func(ctx context.Context, codec *core.Codec, i int) error { return nil },
 			func(i int) int64 { return 1 })
 		cancel()
@@ -180,7 +181,7 @@ func TestGovernedRoundTripByteIdentical(t *testing.T) {
 
 func TestGovernorReleasedOnShardError(t *testing.T) {
 	gov := governor.New(1<<20, 2)
-	err := runShards(context.Background(), Options{Workers: 4, Governor: gov}, 16,
+	err := runShards(context.Background(), Options{Workers: 4, Governor: gov}, "compress", trace.Span{}, 16,
 		func(ctx context.Context, codec *core.Codec, i int) error {
 			if i == 2 {
 				return errors.New("fault")

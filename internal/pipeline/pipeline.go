@@ -14,12 +14,15 @@ import (
 	"math"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"primacy/internal/checksum"
 	"primacy/internal/core"
 	"primacy/internal/governor"
 	"primacy/internal/telemetry"
+	"primacy/internal/trace"
 )
 
 // Container magics. v1 frames each shard with a bare u32 length; v2 adds a
@@ -155,11 +158,16 @@ func CompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, error)
 		shards = append(shards, data[off:end])
 	}
 	outputs := make([][]byte, len(shards))
-	err = runShards(ctx, opts, len(shards), func(ctx context.Context, codec *core.Codec, i int) error {
+	root := startSpan(trace.SpanFromContext(ctx), "pipeline.compress").
+		Attr("raw_bytes", int64(len(data))).
+		Attr("shards", int64(len(shards))).
+		Attr("workers", int64(opts.workers()))
+	err = runShards(ctx, opts, "compress", root, len(shards), func(ctx context.Context, codec *core.Codec, i int) error {
 		out, err := codec.CompressCtx(ctx, shards[i], opts.Core)
 		outputs[i] = out
 		return err
 	}, func(i int) int64 { return int64(len(shards[i])) })
+	root.End(err)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +257,12 @@ func splitShards(data []byte) (shards [][]byte, offsets []int, err error) {
 //
 // The returned error is the first shard failure in shard order (wrapped in
 // *ShardError), or ctx.Err() when the call was cancelled from outside.
-func runShards(ctx context.Context, opts Options, n int, do func(ctx context.Context, codec *core.Codec, i int) error, weight func(i int) int64) error {
+//
+// op names the direction ("compress"/"decompress") for pprof labels and
+// trace spans; parent is the call's root span — per-shard child spans hang
+// off it across goroutine boundaries, and each shard's span rides the shard
+// context so core chunk spans nest under it.
+func runShards(ctx context.Context, opts Options, op string, parent trace.Span, n int, do func(ctx context.Context, codec *core.Codec, i int) error, weight func(i int) int64) error {
 	workers := opts.workers()
 	if workers > n {
 		workers = n
@@ -264,14 +277,29 @@ func runShards(ctx context.Context, opts Options, n int, do func(ctx context.Con
 		go func() {
 			defer wg.Done()
 			var codec core.Codec
+			// With tracing on, label the worker goroutine so CPU profiles
+			// (-pprof-addr) attribute samples to stage and shard. The label
+			// set is rebuilt per shard; gated on the tracer so the untraced
+			// path never allocates label storage.
+			traced := ttrc.Load() != nil || parent.Active()
 			for i := range idxCh {
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 					continue
 				}
-				if err := runShard(ctx, opts.Governor, &codec, i, do, weight); err != nil {
-					errs[i] = err
-					cancel()
+				run := func(ctx context.Context) {
+					if err := runShard(ctx, opts.Governor, &codec, i, parent, do, weight); err != nil {
+						errs[i] = err
+						cancel()
+					}
+				}
+				if traced {
+					pprof.Do(ctx, pprof.Labels(
+						"primacy_stage", op,
+						"primacy_shard", strconv.Itoa(i),
+					), run)
+				} else {
+					run(ctx)
 				}
 			}
 		}()
@@ -310,16 +338,21 @@ feed:
 }
 
 // runShard executes one shard under admission control and panic isolation.
-func runShard(ctx context.Context, gov *governor.Governor, codec *core.Codec, i int, do func(ctx context.Context, codec *core.Codec, i int) error, weight func(i int) int64) (err error) {
+// parent is the call's root trace span; the shard's own span nests under it
+// (Child is goroutine-safe) and is carried by the shard context so the core
+// codec's chunk spans nest in turn.
+func runShard(ctx context.Context, gov *governor.Governor, codec *core.Codec, i int, parent trace.Span, do func(ctx context.Context, codec *core.Codec, i int) error, weight func(i int) int64) (err error) {
 	m := tmet.Load()
 	var sp telemetry.Span
 	if m != nil {
 		sp = m.shardSeconds.Start()
 	}
+	ss := parent.Child("pipeline.shard").Attr("shard", int64(i))
 	defer func() {
 		if r := recover(); r != nil {
 			err = &core.PanicError{Op: fmt.Sprintf("shard %d", i), Value: r, Stack: debug.Stack()}
 		}
+		ss.End(err)
 		sp.End()
 		if m != nil {
 			m.shards.Inc()
@@ -328,6 +361,7 @@ func runShard(ctx context.Context, gov *governor.Governor, codec *core.Codec, i 
 			}
 		}
 	}()
+	ctx = trace.ContextWithSpan(ctx, ss)
 	w := weight(i)
 	if err := gov.Acquire(ctx, w); err != nil {
 		return err
@@ -350,11 +384,16 @@ func DecompressCtx(ctx context.Context, data []byte, opts Options) ([]byte, erro
 		return nil, err
 	}
 	outputs := make([][]byte, len(shards))
-	err = runShards(ctx, opts, len(shards), func(ctx context.Context, codec *core.Codec, i int) error {
+	root := startSpan(trace.SpanFromContext(ctx), "pipeline.decompress").
+		Attr("container_bytes", int64(len(data))).
+		Attr("shards", int64(len(shards))).
+		Attr("workers", int64(opts.workers()))
+	err = runShards(ctx, opts, "decompress", root, len(shards), func(ctx context.Context, codec *core.Codec, i int) error {
 		out, err := codec.DecompressCtx(ctx, shards[i])
 		outputs[i] = out
 		return err
 	}, func(i int) int64 { return int64(len(shards[i])) })
+	root.End(err)
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,11 @@ package retry
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"time"
+
+	"primacy/internal/trace"
 )
 
 // Policy describes how transient failures are retried: up to Attempts total
@@ -71,9 +74,13 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		attempts = 1
 	}
 	delay := p.Backoff
+	// The span is opened lazily on the first failure: a first-try success —
+	// the overwhelmingly common case — never touches the tracer.
+	var ts trace.Span
 	var err error
 	for try := 0; try < attempts; try++ {
 		if cerr := ctx.Err(); cerr != nil {
+			ts.End(cerr)
 			return cerr
 		}
 		if m != nil {
@@ -83,15 +90,25 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 			}
 		}
 		if err = op(); err == nil {
+			ts.End(nil)
 			return nil
 		}
+		if !ts.Active() {
+			ts = startSpan(trace.SpanFromContext(ctx), "retry.op")
+		}
+		if ts.Active() {
+			ts.Event(trace.KindRetry, fmt.Sprintf("attempt %d failed: %v", try+1, err))
+		}
 		if !p.retryable(err) {
+			ts.End(err)
 			return err
 		}
 		if try == attempts-1 {
 			if m != nil {
 				m.exhausted.Inc()
 			}
+			ts.Anomaly(trace.KindRetryExhausted, err.Error())
+			ts.End(err)
 			return err
 		}
 		if m != nil {
@@ -100,6 +117,7 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		p.sleep(ctx, delay)
 		delay *= 2
 	}
+	ts.End(err)
 	return err
 }
 

@@ -31,6 +31,7 @@ import (
 	"primacy/internal/governor"
 	"primacy/internal/retry"
 	"primacy/internal/telemetry"
+	"primacy/internal/trace"
 )
 
 // Stream magics: v1 is the original checksum-less layout, v2 adds a CRC32C
@@ -76,6 +77,8 @@ type Writer struct {
 	wroteMagic bool
 	closed     bool
 	err        error
+	// segIdx numbers emitted segments for trace spans.
+	segIdx int
 }
 
 // WriterOptions bundles the streaming compressor's robustness knobs on top
@@ -189,7 +192,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-func (w *Writer) emit(chunk []byte) error {
+func (w *Writer) emit(chunk []byte) (err error) {
 	if err := w.ctx.Err(); err != nil {
 		return err
 	}
@@ -199,7 +202,15 @@ func (w *Writer) emit(chunk []byte) error {
 		sp = m.segSecs.Start()
 		defer sp.End()
 	}
-	if err := w.gov.Acquire(w.ctx, int64(len(chunk))); err != nil {
+	// The segment span rides the context so the core codec's chunk spans
+	// nest under it; a failed emit ends the span with the error (anomaly).
+	ss := startSpan(trace.SpanFromContext(w.ctx), "stream.segment").
+		Attr("segment", int64(w.segIdx)).
+		Attr("raw_bytes", int64(len(chunk)))
+	w.segIdx++
+	defer func() { ss.End(err) }()
+	ctx := trace.ContextWithSpan(w.ctx, ss)
+	if err := w.gov.Acquire(ctx, int64(len(chunk))); err != nil {
 		return err
 	}
 	defer w.gov.Release(int64(len(chunk)))
@@ -209,7 +220,7 @@ func (w *Writer) emit(chunk []byte) error {
 		}
 		w.wroteMagic = true
 	}
-	enc, st, err := w.codec.CompressWithStatsCtx(w.ctx, chunk, w.opts)
+	enc, st, err := w.codec.CompressWithStatsCtx(ctx, chunk, w.opts)
 	if err != nil {
 		return err
 	}
@@ -358,6 +369,8 @@ func (r *Reader) addFault(off, seg int, err error) {
 	if m := tmet.Load(); m != nil {
 		m.salvageFaults.Inc()
 	}
+	traceAnomaly("stream.salvage", trace.KindSalvageFault,
+		fmt.Sprintf("segment %d at offset %d: %v", seg, off, err))
 }
 
 // mergeFaults folds a sub-report into the reader's report and counts its
@@ -366,6 +379,10 @@ func (r *Reader) mergeFaults(base int, sub *core.CorruptionReport) {
 	r.report.Merge(base, sub)
 	if m := tmet.Load(); m != nil {
 		m.salvageFaults.Add(int64(len(sub.Corruptions)))
+	}
+	if len(sub.Corruptions) > 0 {
+		traceAnomaly("stream.salvage", trace.KindSalvageFault,
+			fmt.Sprintf("%d chunk fault(s) inside segment at offset %d", len(sub.Corruptions), base))
 	}
 }
 
@@ -568,6 +585,11 @@ func (r *Reader) fillSalvage() error {
 func (r *Reader) resync(from int) error {
 	if m := tmet.Load(); m != nil {
 		m.resyncs.Inc()
+	}
+	if t := ttrc.Load(); t != nil {
+		s := t.Start("stream.resync").Attr("from", int64(from))
+		s.Event(trace.KindResync, "scanning for next segment frame")
+		defer func() { s.End(nil) }()
 	}
 	for {
 		c := nextContainerMagic(r.buf, from)

@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"sync/atomic"
+
+	"primacy/internal/trace"
+)
+
+// ttrc is the streaming adapters' tracer, mirroring the tmet pattern.
+var ttrc atomic.Pointer[trace.Tracer]
+
+// EnableTracing routes the streaming adapters' spans to t; a nil t disables
+// tracing.
+func EnableTracing(t *trace.Tracer) {
+	if t == nil {
+		ttrc.Store(nil)
+		return
+	}
+	ttrc.Store(t)
+}
+
+// startSpan opens a span nested under the caller's context span when one is
+// present, a fresh root otherwise, inert when tracing is off.
+func startSpan(parent trace.Span, name string) trace.Span {
+	if parent.Active() {
+		return parent.Child(name)
+	}
+	return ttrc.Load().Start(name)
+}
+
+// traceAnomaly files a standalone anomaly span from paths with no
+// surrounding span (salvage-reader fault recording).
+func traceAnomaly(name string, k trace.Kind, detail string) {
+	t := ttrc.Load()
+	if t == nil {
+		return
+	}
+	s := t.Start(name)
+	s.Anomaly(k, detail)
+	s.End(nil)
+}

@@ -90,9 +90,21 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 // MetricsHandler returns an http.Handler serving the registry in Prometheus
 // text format — the `/metrics` endpoint behind `primacy -metrics-addr`.
+// Scrapes are GET (or HEAD); other methods get 405. The handler serves
+// whatever path it is mounted at; unknown paths are the mounting mux's
+// responsibility (the CLI registers only /metrics, so anything else 404s
+// rather than returning an empty 200).
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
 		_ = r.WritePrometheus(w)
 	})
 }

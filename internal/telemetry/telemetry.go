@@ -84,6 +84,10 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1
 	sum    atomic.Uint64  // float64 bits, CAS-updated
 	count  atomic.Int64
+	// max is the largest observation (float64 bits, CAS-updated, seeded
+	// with -Inf). It bounds quantile estimates for the +Inf bucket, where
+	// the bucket layout alone carries no upper-bound information.
+	max atomic.Uint64
 }
 
 // Observe records one value.
@@ -100,6 +104,15 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
 			break
 		}
 	}
@@ -222,7 +235,9 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return r.lookup(name, help, kindHistogram, func(m *metric) {
 		b := make([]float64, len(bounds))
 		copy(b, bounds)
-		m.hist = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		h.max.Store(math.Float64bits(math.Inf(-1)))
+		m.hist = h
 	}).hist
 }
 
@@ -244,8 +259,11 @@ type HistogramValue struct {
 	Name, Help string
 	Count      int64
 	Sum        float64
-	Bounds     []float64
-	Counts     []int64
+	// Max is the largest observation (0 for an empty histogram). It is the
+	// only upper-bound information available for the +Inf bucket.
+	Max    float64
+	Bounds []float64
+	Counts []int64
 }
 
 // Mean reports Sum/Count, or 0 for an empty histogram.
@@ -257,8 +275,12 @@ func (h HistogramValue) Mean() float64 {
 }
 
 // Quantile estimates the q-th quantile (0 < q < 1) by linear interpolation
-// within the owning bucket; observations in the +Inf bucket report the last
-// finite bound. Returns 0 for an empty histogram.
+// within the owning bucket. Quantiles that land in the +Inf overflow bucket
+// report the observed maximum (clamped below by the last finite bound)
+// rather than extrapolating from the last finite bound — on overflow-heavy
+// data the bucket layout carries no upper-bound information, and reporting
+// the last finite bound would understate p99 arbitrarily. Returns 0 for an
+// empty histogram.
 func (h HistogramValue) Quantile(q float64) float64 {
 	if h.Count == 0 || len(h.Bounds) == 0 {
 		return 0
@@ -270,7 +292,7 @@ func (h HistogramValue) Quantile(q float64) float64 {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
 			if i >= len(h.Bounds) {
-				return h.Bounds[len(h.Bounds)-1]
+				return h.overflowQuantile()
 			}
 			frac := (rank - cum) / float64(c)
 			return lower + frac*(h.Bounds[i]-lower)
@@ -280,7 +302,22 @@ func (h HistogramValue) Quantile(q float64) float64 {
 			lower = h.Bounds[i]
 		}
 	}
+	// Rounding pushed rank past the cumulative total; report the histogram's
+	// upper edge.
+	if h.Counts[len(h.Counts)-1] > 0 {
+		return h.overflowQuantile()
+	}
 	return h.Bounds[len(h.Bounds)-1]
+}
+
+// overflowQuantile is the value reported for quantiles owned by the +Inf
+// bucket: the observed maximum, never below the last finite bound.
+func (h HistogramValue) overflowQuantile() float64 {
+	last := h.Bounds[len(h.Bounds)-1]
+	if h.Max > last {
+		return h.Max
+	}
+	return last
 }
 
 // Snapshot is a point-in-time copy of every registered metric, each group
@@ -348,6 +385,9 @@ func (r *Registry) Snapshot() Snapshot {
 				Sum:    math.Float64frombits(h.sum.Load()),
 				Bounds: h.bounds,
 				Counts: make([]int64, len(h.counts)),
+			}
+			if max := math.Float64frombits(h.max.Load()); hv.Count > 0 && !math.IsInf(max, -1) {
+				hv.Max = max
 			}
 			for i := range h.counts {
 				hv.Counts[i] = h.counts[i].Load()

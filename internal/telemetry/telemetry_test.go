@@ -53,11 +53,53 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	if m := snap.Mean(); m != snap.Sum/5 {
 		t.Fatalf("mean = %g", m)
 	}
-	if q := snap.Quantile(0.99); q != 100 {
-		t.Fatalf("p99 = %g, want 100 (capped at last finite bound)", q)
+	if q := snap.Quantile(0.99); q != 5000 {
+		t.Fatalf("p99 = %g, want 5000 (observed max for +Inf-bucket quantiles)", q)
 	}
 	if q := snap.Quantile(0.5); q <= 0 || q > 10 {
 		t.Fatalf("p50 = %g out of plausible range", q)
+	}
+	if snap.Max != 5000 {
+		t.Fatalf("max = %g, want 5000", snap.Max)
+	}
+}
+
+// Overflow-heavy data must not report quantiles below the data: when most
+// observations exceed the last finite bound, the old behaviour reported the
+// last bound (here 1) as p99, understating latency by orders of magnitude.
+// Regression test for the overflow-quantile clamp.
+func TestQuantileOverflowHeavyClampsToMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ovf_seconds", "", []float64{0.5, 1})
+	for i := 0; i < 99; i++ {
+		h.Observe(30) // way past the last bound
+	}
+	h.Observe(0.1)
+	snap, _ := r.Snapshot().Histogram("ovf_seconds")
+	if q := snap.Quantile(0.99); q != 30 {
+		t.Fatalf("overflow-heavy p99 = %g, want observed max 30", q)
+	}
+	if q := snap.Quantile(0.5); q != 30 {
+		t.Fatalf("overflow-heavy p50 = %g, want observed max 30", q)
+	}
+	// q=1.0 rounding path: rank == count lands past the loop.
+	if q := snap.Quantile(1.0); q != 30 {
+		t.Fatalf("p100 = %g, want 30", q)
+	}
+	if snap.Max != 30 {
+		t.Fatalf("Max = %g, want 30", snap.Max)
+	}
+	// No overflow observations: quantiles stay within the finite buckets and
+	// Max reports the true maximum without affecting interpolation.
+	h2 := r.Histogram("fin_seconds", "", []float64{0.5, 1})
+	h2.Observe(0.2)
+	h2.Observe(0.9)
+	s2, _ := r.Snapshot().Histogram("fin_seconds")
+	if q := s2.Quantile(0.99); q > 1 {
+		t.Fatalf("finite p99 = %g, want <= last bound", q)
+	}
+	if s2.Max != 0.9 {
+		t.Fatalf("finite Max = %g, want 0.9", s2.Max)
 	}
 }
 
@@ -202,6 +244,72 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	if bucketSum != hv.Count {
 		t.Fatalf("bucket sum %d != count %d", bucketSum, hv.Count)
+	}
+}
+
+// TestSnapshotConcurrentWithWriters pins the scrape-consistency contract:
+// Snapshot taken while Counter.Add and Histogram.Observe are running (and
+// while new metrics are still being registered) must be race-free and every
+// observed snapshot must be internally consistent — bucket sums equal the
+// count that was visible at the cut. Run under -race in CI.
+func TestSnapshotConcurrentWithWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("snap_total", "")
+	h := r.Histogram("snap_seconds", "", []float64{1e-4, 1e-3, 1e-2})
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add(1)
+				h.Observe(float64(i%5) * 1e-4)
+				if i%100 == 0 {
+					// Concurrent registration must not race Snapshot either.
+					r.Counter("late_total", "").Inc()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()
+		hv, ok := snap.Histogram("snap_seconds")
+		if !ok {
+			t.Fatal("histogram missing mid-run")
+		}
+		var bucketSum int64
+		for _, b := range hv.Counts {
+			bucketSum += b
+		}
+		// Writers may land between the count load and the bucket loads, so
+		// bucket sums can run slightly ahead of Count — never behind by more
+		// than the in-flight window, and never negative.
+		if bucketSum < 0 || hv.Count < 0 {
+			t.Fatalf("negative totals: buckets=%d count=%d", bucketSum, hv.Count)
+		}
+		if v, _ := snap.Counter("snap_total"); v < 0 {
+			t.Fatalf("counter went negative: %d", v)
+		}
+	}
+	close(stop)
+	writers.Wait()
+	final := r.Snapshot()
+	hv, _ := final.Histogram("snap_seconds")
+	var bucketSum int64
+	for _, b := range hv.Counts {
+		bucketSum += b
+	}
+	if bucketSum != hv.Count {
+		t.Fatalf("quiescent bucket sum %d != count %d", bucketSum, hv.Count)
+	}
+	if hv.Max > 4e-4 || (hv.Count > 0 && hv.Max < 0) {
+		t.Fatalf("quiescent Max = %g out of range", hv.Max)
 	}
 }
 

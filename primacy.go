@@ -35,6 +35,7 @@ import (
 	"primacy/internal/retry"
 	"primacy/internal/stream"
 	"primacy/internal/telemetry"
+	"primacy/internal/trace"
 )
 
 // Options configures the codec. The zero value selects the paper's
@@ -436,4 +437,65 @@ func EnableTelemetry(m *Metrics) {
 	archive.EnableTelemetry(m)
 	governor.EnableTelemetry(m)
 	retry.EnableTelemetry(m)
+}
+
+// Tracer is a structured tracer: spans with parent/child nesting, typed
+// events, and attributes, recorded into a bounded in-memory flight recorder
+// (the last spans plus every anomaly-tagged span) and optionally streamed
+// to a JSONL sink. Safe for concurrent use.
+type Tracer = trace.Tracer
+
+// TraceConfig configures a Tracer's flight-recorder capacities and optional
+// JSONL output.
+type TraceConfig = trace.Config
+
+// TraceSpanRecord is one completed span in the flight recorder.
+type TraceSpanRecord = trace.SpanRecord
+
+// TraceDumpOptions filters a flight-recorder dump.
+type TraceDumpOptions = trace.DumpOptions
+
+// NewTracer returns a Tracer with the given configuration (zero value:
+// default capacities, no JSONL sink).
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// EnableTracing routes every subsystem's spans — per-chunk codec stage
+// spans, pipeline shard spans, stream segment spans, archive entry spans,
+// governor waits, and retry attempts — to t. A nil t disables tracing; the
+// disabled hot path costs one atomic load and nil check, with no
+// allocation.
+//
+// Like EnableTelemetry, the routing is process-wide (one tracer at a time);
+// call EnableTracing(nil) to stop recording.
+func EnableTracing(t *Tracer) {
+	core.EnableTracing(t)
+	pipeline.EnableTracing(t)
+	stream.EnableTracing(t)
+	archive.EnableTracing(t)
+	governor.EnableTracing(t)
+	retry.EnableTracing(t)
+}
+
+// ModelEstimate is a live evaluation of the Section III model against
+// measured telemetry: fully-populated parameters, predicted write/read
+// breakdowns, and the compute-side residual between prediction and
+// observation.
+type ModelEstimate = model.Estimate
+
+// StageSeconds carries wall-clock totals per traced stage name (a Tracer's
+// StageTotals converted to seconds) for EstimateModelWithStages.
+type StageSeconds = model.StageSeconds
+
+// EstimateModel fits the Section III performance model to a telemetry
+// snapshot: structural parameters (α₁, α₂, σ_ho, σ_lo, δ) from the codec's
+// byte counters, rates (T_prec, T_comp, T_decomp) from its stage timers,
+// environment (ρ, θ, μ) from env.
+func EstimateModel(snap MetricsSnapshot, env ModelParams) (ModelEstimate, error) {
+	return model.EstimateFromSnapshot(snap, env)
+}
+
+// EstimateModelWithStages is EstimateModel with trace-derived stage totals
+// overriding the telemetry histograms where present.
+func EstimateModelWithStages(snap MetricsSnapshot, stages StageSeconds, env ModelParams) (ModelEstimate, error) {
+	return model.EstimateWithStages(snap, stages, env)
 }
