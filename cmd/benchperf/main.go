@@ -24,13 +24,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchperf: ")
 	n := flag.Int("n", 0, "elements per dataset (0 = default)")
-	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum wall time per measurement")
+	minTime := flag.Duration("mintime", 200*time.Millisecond, "target cumulative wall time per measurement (sizes the calibrated rep count)")
+	samples := flag.Int("samples", 0, "fixed-work samples per measurement (0 = default)")
+	reps := flag.Int("reps", 0, "pin the per-sample rep count instead of calibrating")
 	out := flag.String("o", "", "write baseline JSON to this file (stdout when empty)")
 	flag.Parse()
 
 	cfg := experiments.PerfConfig{
 		N:       *n,
 		MinTime: *minTime,
+		Samples: *samples,
+		Reps:    *reps,
 	}
 	base, err := experiments.ThroughputBaseline(cfg)
 	if err != nil {
@@ -55,11 +59,17 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, e := range base.Entries {
-		fmt.Printf("%-6s %-12s ratio %5.2f  CTP %7.2f MB/s  DTP %7.2f MB/s  allocs %.0f/%.0f\n",
-			e.Solver, e.Dataset, e.Ratio, e.CTPMBps, e.DTPMBps, e.CompressAllocs, e.DecompressAllocs)
+		fmt.Printf("%-6s %-12s ratio %5.2f  CTP %7.2f MB/s (med %7.2f ±%5.2f)  DTP %7.2f MB/s (med %7.2f ±%5.2f)  allocs %.0f/%.0f\n",
+			e.Solver, e.Dataset, e.Ratio,
+			e.CTPMBps, e.CTPMedianMBps, e.CTPStddevMBps,
+			e.DTPMBps, e.DTPMedianMBps, e.DTPStddevMBps,
+			e.CompressAllocs, e.DecompressAllocs)
 	}
 	if o := base.Overhead; o != nil {
-		fmt.Printf("observability overhead (%s): disabled %.2fms/op  telemetry %.2fms/op  tracing %.2fms/op (%+.1f%%)\n",
-			o.Dataset, o.DisabledNsPerOp/1e6, o.TelemetryNsPerOp/1e6, o.TracingNsPerOp/1e6, o.TracingOverheadPct())
+		fmt.Printf("observability overhead (%s, %d reps x %d samples, min/median±stddev ms/op):\n", o.Dataset, o.Reps, o.Samples)
+		fmt.Printf("  disabled  %.2f / %.2f ±%.3f\n", o.DisabledNsPerOp/1e6, o.DisabledMedianNsPerOp/1e6, o.DisabledStddevNsPerOp/1e6)
+		fmt.Printf("  telemetry %.2f / %.2f ±%.3f\n", o.TelemetryNsPerOp/1e6, o.TelemetryMedianNsPerOp/1e6, o.TelemetryStddevNsPerOp/1e6)
+		fmt.Printf("  tracing   %.2f / %.2f ±%.3f (%+.1f%% vs disabled)\n",
+			o.TracingNsPerOp/1e6, o.TracingMedianNsPerOp/1e6, o.TracingStddevNsPerOp/1e6, o.TracingOverheadPct())
 	}
 }

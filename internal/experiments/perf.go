@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"time"
 
 	"primacy/internal/core"
@@ -26,13 +27,23 @@ type PerfConfig struct {
 	// N is the per-dataset element count (DefaultN when 0).
 	N int
 	// MinTime is the minimum cumulative wall time per throughput
-	// measurement; short operations repeat until it is reached
+	// measurement; it sizes the auto-calibrated fixed rep count
 	// (200ms when 0).
 	MinTime time.Duration
+	// Samples is how many fixed-work samples each measurement takes
+	// (DefaultSamples when 0); min/median/stddev summarize them.
+	Samples int
+	// Reps pins the per-sample repetition count, bypassing calibration
+	// (useful for exactly reproducible runs).
+	Reps int
 	// Solvers and Datasets override the defaults when non-empty.
 	Solvers  []string
 	Datasets []string
 }
+
+// DefaultSamples is the per-measurement sample count when PerfConfig.Samples
+// is zero.
+const DefaultSamples = 5
 
 // PerfEntry is one (solver, dataset) cell of the throughput baseline.
 type PerfEntry struct {
@@ -42,9 +53,18 @@ type PerfEntry struct {
 	CompressedBytes int     `json:"compressed_bytes"`
 	Ratio           float64 `json:"ratio"`
 	// CTPMBps / DTPMBps are end-to-end codec compression and decompression
-	// throughput in MB/s (10^6 bytes), the paper's CTP/DTP.
+	// throughput in MB/s (10^6 bytes), the paper's CTP/DTP — taken from the
+	// fastest fixed-work sample (least interference from the rest of the
+	// machine).
 	CTPMBps float64 `json:"ctp_mbps"`
 	DTPMBps float64 `json:"dtp_mbps"`
+	// Median and standard deviation across the fixed-work samples expose
+	// how noisy the run was (absent in baselines recorded before fixed-work
+	// sampling).
+	CTPMedianMBps float64 `json:"ctp_median_mbps,omitempty"`
+	CTPStddevMBps float64 `json:"ctp_stddev_mbps,omitempty"`
+	DTPMedianMBps float64 `json:"dtp_median_mbps,omitempty"`
+	DTPStddevMBps float64 `json:"dtp_stddev_mbps,omitempty"`
 	// CompressAllocs / DecompressAllocs are steady-state heap allocations
 	// per full-stream codec call with a reused core.Codec.
 	CompressAllocs   float64 `json:"compress_allocs"`
@@ -52,15 +72,34 @@ type PerfEntry struct {
 }
 
 // OverheadEntry quantifies the observability layer's cost on the codec hot
-// path for one dataset: mean wall time per full-stream compression call
-// with the layer disabled, with telemetry recording, and with structured
-// tracing (flight recorder, no JSONL sink).
+// path for one dataset: wall time per full-stream compression call with the
+// layer disabled, with telemetry recording, and with structured tracing
+// (flight recorder, no JSONL sink).
+//
+// All three modes run the same fixed repetition count (calibrated once on
+// the disabled mode) so they do equal work, and each mode is summarized by
+// the minimum across samples — the estimator least contaminated by GC and
+// scheduler interference. The earlier one-stretch mean measurement could
+// rank tracing "faster" than disabled on a noisy machine; min-of-fixed-work
+// cannot, short of a genuine speedup.
 type OverheadEntry struct {
-	Dataset          string  `json:"dataset"`
-	RawBytes         int     `json:"raw_bytes"`
+	Dataset  string `json:"dataset"`
+	RawBytes int    `json:"raw_bytes"`
+	// Reps and Samples record the fixed-work shape shared by the modes
+	// (absent in baselines recorded before fixed-work sampling).
+	Reps    int `json:"reps,omitempty"`
+	Samples int `json:"samples,omitempty"`
+	// *NsPerOp are the per-mode minimums across samples.
 	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
 	TelemetryNsPerOp float64 `json:"telemetry_ns_per_op"`
 	TracingNsPerOp   float64 `json:"tracing_ns_per_op"`
+	// Median/stddev across samples, per mode (absent in old baselines).
+	DisabledMedianNsPerOp  float64 `json:"disabled_median_ns_per_op,omitempty"`
+	DisabledStddevNsPerOp  float64 `json:"disabled_stddev_ns_per_op,omitempty"`
+	TelemetryMedianNsPerOp float64 `json:"telemetry_median_ns_per_op,omitempty"`
+	TelemetryStddevNsPerOp float64 `json:"telemetry_stddev_ns_per_op,omitempty"`
+	TracingMedianNsPerOp   float64 `json:"tracing_median_ns_per_op,omitempty"`
+	TracingStddevNsPerOp   float64 `json:"tracing_stddev_ns_per_op,omitempty"`
 }
 
 // TracingOverheadPct is the tracing-enabled slowdown relative to disabled,
@@ -92,10 +131,6 @@ type PerfBaseline struct {
 // parallel pipeline's workers do.
 func ThroughputBaseline(cfg PerfConfig) (*PerfBaseline, error) {
 	n := elemCount(cfg.N)
-	minTime := cfg.MinTime
-	if minTime <= 0 {
-		minTime = 200 * time.Millisecond
-	}
 	solvers := cfg.Solvers
 	if len(solvers) == 0 {
 		solvers = PerfSolvers
@@ -118,7 +153,7 @@ func ThroughputBaseline(cfg PerfConfig) (*PerfBaseline, error) {
 		}
 		raw := spec.GenerateBytes(n)
 		for _, sv := range solvers {
-			entry, err := measurePair(sv, ds, raw, minTime)
+			entry, err := measurePair(sv, ds, raw, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", sv, ds, err)
 			}
@@ -128,7 +163,7 @@ func ThroughputBaseline(cfg PerfConfig) (*PerfBaseline, error) {
 	return base, nil
 }
 
-func measurePair(sv, ds string, raw []byte, minTime time.Duration) (PerfEntry, error) {
+func measurePair(sv, ds string, raw []byte, cfg PerfConfig) (PerfEntry, error) {
 	opts := core.Options{Solver: sv}
 	var codec core.Codec
 	enc, err := codec.Compress(raw, opts)
@@ -149,22 +184,50 @@ func measurePair(sv, ds string, raw []byte, minTime time.Duration) (PerfEntry, e
 		CompressedBytes: len(enc),
 		Ratio:           float64(len(raw)) / float64(len(enc)),
 	}
-	ctp, err := timeOpMin(len(raw), minTime, func() error {
+	compress := func() error {
 		_, err := codec.Compress(raw, opts)
 		return err
-	})
-	if err != nil {
-		return PerfEntry{}, err
 	}
-	dtp, err := timeOpMin(len(raw), minTime, func() error {
+	decompress := func() error {
 		_, err := codec.Decompress(enc)
 		return err
-	})
+	}
+	// Compression and decompression differ in speed, so each direction gets
+	// its own calibrated rep count; min/median/stddev come from the same
+	// fixed-work samples either way.
+	mbps := func(nsPerOp float64) float64 {
+		if nsPerOp <= 0 {
+			return 0
+		}
+		return float64(len(raw)) / nsPerOp * 1e9 / 1e6
+	}
+	reps, samples, err := fixedShape(cfg, compress)
 	if err != nil {
 		return PerfEntry{}, err
 	}
-	entry.CTPMBps = ctp / 1e6
-	entry.DTPMBps = dtp / 1e6
+	cm, err := measureFixed(reps, samples, compress)
+	if err != nil {
+		return PerfEntry{}, err
+	}
+	entry.CTPMBps = mbps(cm.Min())
+	entry.CTPMedianMBps = mbps(cm.Median())
+	if med := cm.Median(); med > 0 {
+		entry.CTPStddevMBps = entry.CTPMedianMBps * cm.Stddev() / med
+	}
+
+	reps, samples, err = fixedShape(cfg, decompress)
+	if err != nil {
+		return PerfEntry{}, err
+	}
+	dm, err := measureFixed(reps, samples, decompress)
+	if err != nil {
+		return PerfEntry{}, err
+	}
+	entry.DTPMBps = mbps(dm.Min())
+	entry.DTPMedianMBps = mbps(dm.Median())
+	if med := dm.Median(); med > 0 {
+		entry.DTPStddevMBps = entry.DTPMedianMBps * dm.Stddev() / med
+	}
 	entry.CompressAllocs = allocsPerRun(3, func() {
 		if _, err := codec.Compress(raw, opts); err != nil {
 			panic(err)
@@ -180,14 +243,12 @@ func measurePair(sv, ds string, raw []byte, minTime time.Duration) (PerfEntry, e
 
 // MeasureOverhead times the codec with the observability layer off, with
 // telemetry recording, and with tracing, on the first configured dataset.
-// The routing is process-wide state, so this must not run concurrently with
+// All three modes run the same calibrated fixed rep count per sample, so the
+// comparison is work-for-work rather than whatever-fit-in-the-window. The
+// routing is process-wide state, so this must not run concurrently with
 // other codec users; both layers are restored to disabled on return.
 func MeasureOverhead(cfg PerfConfig) (*OverheadEntry, error) {
 	n := elemCount(cfg.N)
-	minTime := cfg.MinTime
-	if minTime <= 0 {
-		minTime = 200 * time.Millisecond
-	}
 	ds := PerfDatasets[0]
 	if len(cfg.Datasets) > 0 {
 		ds = cfg.Datasets[0]
@@ -203,48 +264,166 @@ func MeasureOverhead(cfg PerfConfig) (*OverheadEntry, error) {
 		_, err := codec.Compress(raw, opts)
 		return err
 	}
-	out := &OverheadEntry{Dataset: ds, RawBytes: len(raw)}
 
 	core.EnableTelemetry(nil)
 	core.EnableTracing(nil)
-	disabled, err := timeNsPerOp(minTime, compress)
+	defer core.EnableTelemetry(nil)
+	defer core.EnableTracing(nil)
+	reps, samples, err := fixedShape(cfg, compress)
 	if err != nil {
 		return nil, err
 	}
-	out.DisabledNsPerOp = disabled
+	out := &OverheadEntry{Dataset: ds, RawBytes: len(raw), Reps: reps, Samples: samples}
 
+	// The modes are interleaved round by round — every round takes one
+	// fixed-work sample of each mode back to back — so slow drift (thermal
+	// throttling, background load) hits all three equally instead of
+	// biasing whichever block ran while the machine was busy. Sequential
+	// blocks are how the old measurement ranked tracing "faster" than
+	// disabled.
 	reg := telemetry.NewRegistry()
-	core.EnableTelemetry(reg)
-	withTelem, err := timeNsPerOp(minTime, compress)
-	core.EnableTelemetry(nil)
-	if err != nil {
-		return nil, err
-	}
-	out.TelemetryNsPerOp = withTelem
-
 	tr := trace.New(trace.Config{})
-	core.EnableTracing(tr)
-	withTrace, err := timeNsPerOp(minTime, compress)
-	core.EnableTracing(nil)
-	if err != nil {
-		return nil, err
+	modes := []struct {
+		enter func()
+		exit  func()
+		m     *Measurement
+	}{
+		{func() {}, func() {}, &Measurement{Reps: reps}},
+		{func() { core.EnableTelemetry(reg) }, func() { core.EnableTelemetry(nil) }, &Measurement{Reps: reps}},
+		{func() { core.EnableTracing(tr) }, func() { core.EnableTracing(nil) }, &Measurement{Reps: reps}},
 	}
-	out.TracingNsPerOp = withTrace
+	for round := 0; round <= samples; round++ {
+		for _, mode := range modes {
+			mode.enter()
+			s, err := measureFixed(reps, 1, compress)
+			mode.exit()
+			if err != nil {
+				return nil, err
+			}
+			// Round 0 is warm-up: it pages in code paths and steadies the
+			// allocator, and its timings are discarded.
+			if round > 0 {
+				mode.m.SamplesN = append(mode.m.SamplesN, s.SamplesN[0])
+			}
+		}
+	}
+	disabled, withTelem, withTrace := *modes[0].m, *modes[1].m, *modes[2].m
+	out.DisabledNsPerOp = disabled.Min()
+	out.DisabledMedianNsPerOp = disabled.Median()
+	out.DisabledStddevNsPerOp = disabled.Stddev()
+	out.TelemetryNsPerOp = withTelem.Min()
+	out.TelemetryMedianNsPerOp = withTelem.Median()
+	out.TelemetryStddevNsPerOp = withTelem.Stddev()
+	out.TracingNsPerOp = withTrace.Min()
+	out.TracingMedianNsPerOp = withTrace.Median()
+	out.TracingStddevNsPerOp = withTrace.Stddev()
 	return out, nil
 }
 
-// timeNsPerOp repeats op until minTime elapses and reports the mean wall
-// time per call in nanoseconds.
-func timeNsPerOp(minTime time.Duration, op func() error) (float64, error) {
-	reps := 0
-	start := time.Now()
-	for time.Since(start) < minTime {
-		if err := op(); err != nil {
-			return 0, err
+// Measurement is the result of sampled fixed-work timing: Samples runs of
+// exactly Reps calls each, summarized by per-sample mean ns/op.
+type Measurement struct {
+	Reps     int
+	SamplesN []float64 // per-sample ns/op
+}
+
+// Min is the fastest sample — the estimator least contaminated by external
+// interference, since noise only ever adds time.
+func (m Measurement) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range m.SamplesN {
+		if v < min {
+			min = v
 		}
-		reps++
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
+	return min
+}
+
+// Median is the middle sample (mean of the middle two for even counts).
+func (m Measurement) Median() float64 {
+	s := append([]float64(nil), m.SamplesN...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Stddev is the sample standard deviation across samples.
+func (m Measurement) Stddev() float64 {
+	n := len(m.SamplesN)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range m.SamplesN {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range m.SamplesN {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// calibrateReps sizes a fixed repetition count so one sample lasts roughly
+// targetSample, from a single timed call.
+func calibrateReps(targetSample time.Duration, op func() error) (int, error) {
+	start := time.Now()
+	if err := op(); err != nil {
+		return 0, err
+	}
+	per := time.Since(start)
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	reps := int(targetSample / per)
+	if reps < 1 {
+		reps = 1
+	}
+	return reps, nil
+}
+
+// measureFixed runs samples batches of exactly reps calls each and reports
+// per-sample mean ns/op. Fixed work per sample is what makes samples — and
+// measurement modes sharing one rep count — comparable.
+func measureFixed(reps, samples int, op func() error) (Measurement, error) {
+	m := Measurement{Reps: reps, SamplesN: make([]float64, 0, samples)}
+	for s := 0; s < samples; s++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := op(); err != nil {
+				return m, err
+			}
+		}
+		m.SamplesN = append(m.SamplesN, float64(time.Since(start).Nanoseconds())/float64(reps))
+	}
+	return m, nil
+}
+
+// fixedShape resolves the (reps, samples) measurement shape from config:
+// pinned reps when given, otherwise calibrated so one sample ≈
+// minTime/samples.
+func fixedShape(cfg PerfConfig, op func() error) (reps, samples int, err error) {
+	samples = cfg.Samples
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	minTime := cfg.MinTime
+	if minTime <= 0 {
+		minTime = 200 * time.Millisecond
+	}
+	reps = cfg.Reps
+	if reps <= 0 {
+		reps, err = calibrateReps(minTime/time.Duration(samples), op)
+	}
+	return reps, samples, err
 }
 
 // allocsPerRun mirrors testing.AllocsPerRun (single-threaded, warm-up call,
@@ -260,20 +439,6 @@ func allocsPerRun(runs int, f func()) float64 {
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / float64(runs)
-}
-
-// timeOpMin is timeOp with a caller-chosen minimum measurement window.
-func timeOpMin(bytesPerCall int, minTime time.Duration, op func() error) (bps float64, err error) {
-	reps := 0
-	start := time.Now()
-	for time.Since(start) < minTime {
-		if err := op(); err != nil {
-			return 0, err
-		}
-		reps++
-	}
-	elapsed := time.Since(start).Seconds()
-	return float64(bytesPerCall) * float64(reps) / elapsed, nil
 }
 
 // Check validates a baseline the way CI does: every configured cell present,
@@ -303,6 +468,30 @@ func (b *PerfBaseline) Check() error {
 		if e.CompressAllocs < 0 || e.DecompressAllocs < 0 {
 			return fmt.Errorf("experiments: %s/%s: negative alloc counts", e.Solver, e.Dataset)
 		}
+		// Sample statistics are optional (old baselines), but when present
+		// they must be coherent: finite, non-negative spread, and a median
+		// no faster than the best sample.
+		for name, pair := range map[string][2]float64{
+			"ctp": {e.CTPMedianMBps, e.CTPStddevMBps},
+			"dtp": {e.DTPMedianMBps, e.DTPStddevMBps},
+		} {
+			median, stddev := pair[0], pair[1]
+			if median == 0 && stddev == 0 {
+				continue
+			}
+			best := e.CTPMBps
+			if name == "dtp" {
+				best = e.DTPMBps
+			}
+			if math.IsNaN(median) || math.IsInf(median, 0) || median <= 0 ||
+				math.IsNaN(stddev) || math.IsInf(stddev, 0) || stddev < 0 {
+				return fmt.Errorf("experiments: %s/%s: %s sample stats not finite", e.Solver, e.Dataset, name)
+			}
+			if median > best*1.0001 {
+				return fmt.Errorf("experiments: %s/%s: %s median %.2f exceeds best sample %.2f",
+					e.Solver, e.Dataset, name, median, best)
+			}
+		}
 	}
 	if o := b.Overhead; o != nil {
 		if o.Dataset == "" || o.RawBytes <= 0 {
@@ -315,6 +504,17 @@ func (b *PerfBaseline) Check() error {
 		} {
 			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 				return fmt.Errorf("experiments: overhead %s = %v not finite and positive", name, v)
+			}
+		}
+		// Fixed-work runs: the per-mode minimum can never beat the median.
+		for name, pair := range map[string][2]float64{
+			"disabled":  {o.DisabledNsPerOp, o.DisabledMedianNsPerOp},
+			"telemetry": {o.TelemetryNsPerOp, o.TelemetryMedianNsPerOp},
+			"tracing":   {o.TracingNsPerOp, o.TracingMedianNsPerOp},
+		} {
+			min, median := pair[0], pair[1]
+			if median != 0 && min > median*1.0001 {
+				return fmt.Errorf("experiments: overhead %s min %.0fns exceeds its median %.0fns", name, min, median)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -93,5 +94,89 @@ func TestBaselineCheckRejectsBadEntries(t *testing.T) {
 	empty.Entries = nil
 	if err := empty.Check(); err == nil {
 		t.Fatal("empty baseline accepted")
+	}
+}
+
+func TestMeasurementStats(t *testing.T) {
+	m := Measurement{Reps: 3, SamplesN: []float64{50, 10, 30, 20, 40}}
+	if got := m.Min(); got != 10 {
+		t.Errorf("Min = %v, want 10", got)
+	}
+	if got := m.Median(); got != 30 {
+		t.Errorf("Median = %v, want 30", got)
+	}
+	// Sample stddev of 10..50 step 10 is sqrt(250) ≈ 15.811.
+	if got := m.Stddev(); math.Abs(got-math.Sqrt(250)) > 1e-9 {
+		t.Errorf("Stddev = %v, want %v", got, math.Sqrt(250))
+	}
+	even := Measurement{SamplesN: []float64{1, 2, 3, 4}}
+	if got := even.Median(); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	single := Measurement{SamplesN: []float64{7}}
+	if single.Stddev() != 0 {
+		t.Error("single-sample stddev must be 0")
+	}
+}
+
+func TestMeasureFixedRunsExactWork(t *testing.T) {
+	calls := 0
+	m, err := measureFixed(4, 3, func() error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 12 {
+		t.Errorf("measureFixed(4,3) ran op %d times, want 12", calls)
+	}
+	if len(m.SamplesN) != 3 || m.Reps != 4 {
+		t.Errorf("measurement shape %d samples x %d reps, want 3 x 4", len(m.SamplesN), m.Reps)
+	}
+	for i, v := range m.SamplesN {
+		if v < 0 {
+			t.Errorf("sample %d negative: %v", i, v)
+		}
+	}
+}
+
+func TestFixedShapePinsReps(t *testing.T) {
+	calls := 0
+	reps, samples, err := fixedShape(PerfConfig{Reps: 17, Samples: 3}, func() error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps != 17 || samples != 3 {
+		t.Errorf("shape %d x %d, want pinned 17 x 3", reps, samples)
+	}
+	if calls != 0 {
+		t.Error("pinned reps must skip calibration entirely")
+	}
+	reps, samples, err = fixedShape(PerfConfig{}, func() error { calls++; return nil })
+	if err != nil || reps < 1 || samples != DefaultSamples {
+		t.Errorf("default shape %d x %d (err %v), want calibrated >=1 x %d", reps, samples, err, DefaultSamples)
+	}
+	if calls == 0 {
+		t.Error("auto shape must calibrate with at least one call")
+	}
+}
+
+func TestOverheadEntryMinNeverExceedsMedianInCheck(t *testing.T) {
+	base := &PerfBaseline{
+		GoVersion: "go", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		Entries: []PerfEntry{{
+			Solver: "zlib", Dataset: "msg_sweep3d", RawBytes: 1, CompressedBytes: 1,
+			Ratio: 1, CTPMBps: 1, DTPMBps: 1,
+		}},
+		Overhead: &OverheadEntry{
+			Dataset: "msg_sweep3d", RawBytes: 1,
+			DisabledNsPerOp: 100, TelemetryNsPerOp: 100, TracingNsPerOp: 100,
+			DisabledMedianNsPerOp: 90, // min 100 > median 90: impossible for fixed work
+		},
+	}
+	if err := base.Check(); err == nil {
+		t.Fatal("Check accepted a min above its median")
+	}
+	base.Overhead.DisabledMedianNsPerOp = 110
+	if err := base.Check(); err != nil {
+		t.Fatalf("Check rejected a coherent baseline: %v", err)
 	}
 }

@@ -1,0 +1,28 @@
+package fairshare
+
+import (
+	"sync/atomic"
+
+	"primacy/internal/trace"
+)
+
+// ttrc is the admitter's tracer, mirroring the tmet pattern.
+var ttrc atomic.Pointer[trace.Tracer]
+
+// EnableTracing routes the admitter's spans to t; a nil t disables tracing.
+func EnableTracing(t *trace.Tracer) {
+	if t == nil {
+		ttrc.Store(nil)
+		return
+	}
+	ttrc.Store(t)
+}
+
+// startSpan opens a span nested under the caller's context span when one is
+// present, a fresh root otherwise, inert when tracing is off.
+func startSpan(parent trace.Span, name string) trace.Span {
+	if parent.Active() {
+		return parent.Child(name)
+	}
+	return ttrc.Load().Start(name)
+}

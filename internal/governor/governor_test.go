@@ -2,6 +2,10 @@ package governor
 
 import (
 	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -193,5 +197,86 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCancelWhileQueuedStormLeaksNothing(t *testing.T) {
+	// A storm of waiters cancelled while queued — racing concurrent grants —
+	// must leave the governor with zero waiters, zero reserved capacity, and
+	// zero leaked goroutines, and later acquires must succeed immediately.
+	before := runtime.NumGoroutine()
+	g := New(100, 2)
+	bg := context.Background()
+
+	// Fill the budget so every subsequent acquire queues.
+	if err := g.Acquire(bg, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 64
+	var wg sync.WaitGroup
+	var admitted, cancelled atomic.Int64
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(bg)
+			defer cancel()
+			go func() {
+				time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+				cancel()
+			}()
+			if err := g.Acquire(ctx, 10); err == nil {
+				admitted.Add(1)
+				time.Sleep(time.Millisecond)
+				g.Release(10)
+			} else if err == context.Canceled {
+				cancelled.Add(1)
+			} else {
+				t.Errorf("unexpected acquire error: %v", err)
+			}
+		}()
+	}
+	// Churn grants underneath the cancellations so grant-vs-cancel races
+	// actually happen.
+	for i := 0; i < 20; i++ {
+		g.Release(100)
+		time.Sleep(500 * time.Microsecond)
+		if err := g.Acquire(bg, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	g.Release(100)
+
+	if admitted.Load()+cancelled.Load() != waiters {
+		t.Fatalf("accounting: %d admitted + %d cancelled != %d waiters",
+			admitted.Load(), cancelled.Load(), waiters)
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("%d waiters left queued after the storm", g.Waiting())
+	}
+	if n, b := g.InFlight(); n != 0 || b != 0 {
+		t.Fatalf("capacity leaked: %d admissions, %d bytes", n, b)
+	}
+	// The governor still works: a fresh full-budget acquire admits at once.
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	if err := g.Acquire(ctx, 100); err != nil {
+		t.Fatalf("post-storm acquire: %v", err)
+	}
+	g.Release(100)
+
+	// No goroutine may outlive its cancelled waiter.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"primacy/internal/trace"
@@ -30,6 +31,15 @@ type Policy struct {
 	// Classify reports whether an error is transient (retryable). Nil
 	// retries every error except context cancellation.
 	Classify func(error) bool
+	// Jitter applies full jitter: each delay is drawn uniformly from
+	// [0, exponential backoff) instead of being the exponential value
+	// itself. Synchronized clients that fail together (a sink hiccup under
+	// burst load) then retry decorrelated instead of stampeding the sink in
+	// lockstep at the same doubling instants.
+	Jitter bool
+	// Rand supplies the uniform [0,1) variates Jitter draws from (tests
+	// inject a deterministic source). Nil uses math/rand's global source.
+	Rand func() float64
 	// Sleep overrides the delay function (tests). Nil sleeps for real,
 	// waking early if ctx is cancelled.
 	Sleep func(time.Duration)
@@ -46,6 +56,18 @@ func (p Policy) retryable(err error) bool {
 		return p.Classify(err)
 	}
 	return true
+}
+
+// jittered draws a full-jitter delay uniformly from [0, d).
+func (p Policy) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	u := rand.Float64
+	if p.Rand != nil {
+		u = p.Rand
+	}
+	return time.Duration(u() * float64(d))
 }
 
 func (p Policy) sleep(ctx context.Context, d time.Duration) {
@@ -111,10 +133,14 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 			ts.End(err)
 			return err
 		}
-		if m != nil {
-			m.backoffSeconds.Observe(delay.Seconds())
+		wait := delay
+		if p.Jitter {
+			wait = p.jittered(delay)
 		}
-		p.sleep(ctx, delay)
+		if m != nil {
+			m.backoffSeconds.Observe(wait.Seconds())
+		}
+		p.sleep(ctx, wait)
 		delay *= 2
 	}
 	ts.End(err)

@@ -232,3 +232,73 @@ func TestReaderDoesNotRetryEOF(t *testing.T) {
 type readerFunc func([]byte) (int, error)
 
 func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+func TestFullJitterDrawsFromExponentialEnvelope(t *testing.T) {
+	// An injected deterministic source makes the jittered delays exact:
+	// delay_i = u_i * (Backoff << i).
+	us := []float64{0.5, 0.25, 0.999}
+	draw := 0
+	var slept []time.Duration
+	p := Policy{
+		Attempts: 4,
+		Backoff:  100 * time.Millisecond,
+		Jitter:   true,
+		Rand:     func() float64 { u := us[draw]; draw++; return u },
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := p.Do(context.Background(), func() error { return errTransient })
+	if err != errTransient {
+		t.Fatal(err)
+	}
+	want := []time.Duration{
+		50 * time.Millisecond,      // 0.5   * 100ms
+		50 * time.Millisecond,      // 0.25  * 200ms
+		time.Duration(0.999 * 4e8), // 0.999 * 400ms
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %d delays", slept, len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("delay %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestFullJitterStaysInsideEnvelope(t *testing.T) {
+	// With the real rand source every draw must land in [0, envelope).
+	for trial := 0; trial < 50; trial++ {
+		var slept []time.Duration
+		p := Policy{
+			Attempts: 4,
+			Backoff:  80 * time.Millisecond,
+			Jitter:   true,
+			Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		}
+		p.Do(context.Background(), func() error { return errTransient })
+		envelope := 80 * time.Millisecond
+		for i, d := range slept {
+			if d < 0 || d >= envelope {
+				t.Fatalf("trial %d delay %d = %v outside [0, %v)", trial, i, d, envelope)
+			}
+			envelope *= 2
+		}
+	}
+}
+
+func TestJitterOffKeepsDeterministicBackoff(t *testing.T) {
+	// Jitter must be opt-in: existing policies keep the exact doubling
+	// sequence even when a Rand source is (pointlessly) supplied.
+	var slept []time.Duration
+	p := Policy{
+		Attempts: 3,
+		Backoff:  10 * time.Millisecond,
+		Rand:     func() float64 { return 0.0001 },
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	p.Do(context.Background(), func() error { return errTransient })
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff sequence %v, want %v", slept, want)
+	}
+}

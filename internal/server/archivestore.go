@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"primacy/internal/archive"
+	"primacy/internal/bytesplit"
+	"primacy/internal/core"
+)
+
+// tenantArchive is one tenant's in-memory ADIOS-style archive: raw entries
+// accepted by /v1/archive/put, encoded lazily into an archive container on
+// first get and cached until the next put invalidates it. Rebuilding through
+// archive.NewWriterCtx keeps the archive path — entry framing, TOC,
+// checksums — under the same deadlines and admission as everything else.
+type tenantArchive struct {
+	mu       sync.Mutex
+	entries  []archEntry
+	rawBytes int64
+	// blob is the encoded archive (nil after a put dirties it).
+	blob []byte
+}
+
+type archEntry struct {
+	name   string
+	step   int
+	values []float64
+}
+
+func (s *Server) tenantArchiveFor(tenant string) *tenantArchive {
+	s.archMu.Lock()
+	defer s.archMu.Unlock()
+	ta, ok := s.archives[tenant]
+	if !ok {
+		ta = &tenantArchive{}
+		s.archives[tenant] = ta
+	}
+	return ta
+}
+
+// archiveParams parses ?name= and ?step= (step defaults to 0).
+func archiveParams(r *http.Request, needName bool) (string, int, error) {
+	name := r.URL.Query().Get("name")
+	if name == "" && needName {
+		return "", 0, badRequest("missing ?name=", nil)
+	}
+	step := 0
+	if v := r.URL.Query().Get("step"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return "", 0, badRequest(fmt.Sprintf("invalid ?step=%q", v), nil)
+		}
+		step = n
+	}
+	return name, step, nil
+}
+
+func (s *Server) opArchivePut(req *request) (*response, error) {
+	name, step, err := archiveParams(req.r, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.body) == 0 || len(req.body)%8 != 0 {
+		return nil, badRequest(fmt.Sprintf("body length %d is not a non-empty multiple of 8", len(req.body)), nil)
+	}
+	values, err := bytesplit.BytesToFloat64s(req.body)
+	if err != nil {
+		return nil, badRequest("decoding float64 payload", err)
+	}
+	release, err := s.admit(req, int64(len(req.body)))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ta := s.tenantArchiveFor(req.tenant)
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if ta.rawBytes+int64(len(req.body)) > s.cfg.MaxArchiveBytes {
+		return nil, &httpError{
+			status: http.StatusRequestEntityTooLarge,
+			msg:    fmt.Sprintf("tenant archive budget %d bytes exceeded", s.cfg.MaxArchiveBytes),
+		}
+	}
+	for _, e := range ta.entries {
+		if e.name == name && e.step == step {
+			return nil, &httpError{status: http.StatusConflict,
+				msg: fmt.Sprintf("entry %s@%d already archived", name, step)}
+		}
+	}
+	ta.entries = append(ta.entries, archEntry{name: name, step: step, values: values})
+	ta.rawBytes += int64(len(req.body))
+	ta.blob = nil
+	return &response{body: []byte(fmt.Sprintf("archived %s@%d (%d values)\n", name, step, len(values)))}, nil
+}
+
+func (s *Server) opArchiveGet(req *request) (*response, error) {
+	name, step, err := archiveParams(req.r, false)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := s.codecOptions(req.r)
+	if err != nil {
+		return nil, err
+	}
+	ta := s.tenantArchiveFor(req.tenant)
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if len(ta.entries) == 0 {
+		return nil, &httpError{status: http.StatusNotFound, msg: "tenant has no archived entries"}
+	}
+	release, err := s.admit(req, ta.rawBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if ta.blob == nil {
+		blob, err := buildArchive(req, ta.entries, opts)
+		if err != nil {
+			return nil, err
+		}
+		ta.blob = blob
+	}
+	if name == "" {
+		// Whole-archive download.
+		return &response{body: ta.blob}, nil
+	}
+	rd, err := archive.NewReader(bytes.NewReader(ta.blob), int64(len(ta.blob)))
+	if err != nil {
+		return nil, fmt.Errorf("reopening tenant archive: %w", err)
+	}
+	values, err := rd.GetFloat64s(name, step)
+	if err != nil {
+		return nil, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("entry %s@%d", name, step), err: err}
+	}
+	return &response{body: bytesplit.Float64sToBytes(values)}, nil
+}
+
+// buildArchive encodes entries into an archive container under the request's
+// deadline.
+func buildArchive(req *request, entries []archEntry, opts core.Options) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := archive.NewWriterCtx(req.ctx, &buf, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := w.PutFloat64s(e.name, e.step, e.values); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

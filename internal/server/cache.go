@@ -1,0 +1,138 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// CacheOutcome classifies how a cached operation was served.
+type CacheOutcome int
+
+const (
+	// CacheMiss: this request computed the result itself (single-flight
+	// leader or cache disabled).
+	CacheMiss CacheOutcome = iota
+	// CacheHit: the result was already cached.
+	CacheHit
+	// CacheShared: an identical request was already computing; this one
+	// waited and shared its result without doing the work.
+	CacheShared
+)
+
+// resultCache is a bounded content-addressed result cache with single-flight
+// dedup: the first request for a key computes (the leader), concurrent
+// identical requests wait and share the result (followers), completed
+// results are retained LRU up to a byte budget. Content addressing makes
+// this safe: the key embeds the CRC32C and length of the input plus every
+// option that affects the output, so identical keys mean identical answers.
+type resultCache struct {
+	mu sync.Mutex
+	// capBytes bounds the sum of completed result sizes (0 disables
+	// retention; single-flight dedup still applies).
+	capBytes int64
+	size     int64
+	// ll orders completed entries most-recent-first; in-flight entries live
+	// only in m.
+	ll *list.List
+	m  map[string]*centry
+}
+
+type centry struct {
+	key  string
+	elem *list.Element // nil while in flight
+	done chan struct{}
+	out  []byte
+	err  error
+}
+
+func newResultCache(capBytes int64) *resultCache {
+	if capBytes < 0 {
+		capBytes = 0
+	}
+	return &resultCache{capBytes: capBytes, ll: list.New(), m: make(map[string]*centry)}
+}
+
+// Do returns the cached result for key, waits for an in-flight identical
+// computation, or runs fn as the leader. A leader error is never cached: the
+// entry is removed so later requests retry, and followers whose context is
+// still live retry themselves rather than inheriting a leader's
+// deadline/cancel error.
+func (c *resultCache) Do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, CacheOutcome, error) {
+	if c == nil {
+		out, err := fn()
+		return out, CacheMiss, err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, CacheMiss, err
+		}
+		c.mu.Lock()
+		if e, ok := c.m[key]; ok {
+			select {
+			case <-e.done: // completed, stored
+				out := e.out
+				c.ll.MoveToFront(e.elem)
+				c.mu.Unlock()
+				return out, CacheHit, nil
+			default: // in flight: follow
+				c.mu.Unlock()
+				select {
+				case <-e.done:
+					if e.err == nil {
+						return e.out, CacheShared, nil
+					}
+					// The leader failed. Its entry is already removed;
+					// retry as (potential) leader so a follower is never
+					// penalized with the leader's deadline or shed error.
+					continue
+				case <-ctx.Done():
+					return nil, CacheShared, ctx.Err()
+				}
+			}
+		}
+		e := &centry{key: key, done: make(chan struct{})}
+		c.m[key] = e
+		c.mu.Unlock()
+
+		out, err := fn()
+		c.mu.Lock()
+		e.out, e.err = out, err
+		if err != nil || c.capBytes <= 0 || int64(len(out)+len(key)) > c.capBytes {
+			delete(c.m, key)
+		} else {
+			e.elem = c.ll.PushFront(e)
+			c.size += int64(len(out) + len(key))
+			for c.size > c.capBytes {
+				back := c.ll.Back()
+				v := back.Value.(*centry)
+				c.ll.Remove(back)
+				delete(c.m, v.key)
+				c.size -= int64(len(v.out) + len(v.key))
+			}
+		}
+		close(e.done)
+		c.mu.Unlock()
+		return out, CacheMiss, err
+	}
+}
+
+// Len reports completed entries currently retained (tests/ops).
+func (c *resultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports retained result bytes (tests/ops).
+func (c *resultCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

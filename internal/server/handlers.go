@@ -1,0 +1,375 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"primacy/internal/archive"
+	"primacy/internal/checksum"
+	"primacy/internal/core"
+	"primacy/internal/fairshare"
+	"primacy/internal/pipeline"
+	"primacy/internal/solver"
+	"primacy/internal/stream"
+)
+
+// Request/response headers.
+const (
+	// HeaderTenant names the tenant a request is accounted to (default
+	// "anonymous").
+	HeaderTenant = "X-Primacy-Tenant"
+	// HeaderDeadlineMs requests a per-request deadline in milliseconds,
+	// clamped to Config.MaxDeadline.
+	HeaderDeadlineMs = "X-Primacy-Deadline-Ms"
+	// HeaderCache reports how a work request was served: hit, miss, or
+	// shared (single-flight follower).
+	HeaderCache = "X-Primacy-Cache"
+	// HeaderRatio reports the compression ratio achieved by /v1/compress.
+	HeaderRatio = "X-Primacy-Ratio"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/compress", s.work("compress", s.opCompress))
+	s.mux.HandleFunc("POST /v1/decompress", s.work("decompress", s.opDecompress))
+	s.mux.HandleFunc("POST /v1/archive/put", s.work("archive_put", s.opArchivePut))
+	s.mux.HandleFunc("GET /v1/archive/get", s.work("archive_get", s.opArchiveGet))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	if s.cfg.Metrics != nil {
+		s.mux.Handle("GET /metrics", s.cfg.Metrics.MetricsHandler())
+	}
+}
+
+// request carries one admitted work request through its operation.
+type request struct {
+	ctx    context.Context
+	tenant string
+	body   []byte
+	r      *http.Request
+}
+
+// response is what an operation produced.
+type response struct {
+	body    []byte
+	cache   CacheOutcome
+	cached  bool // operation went through the result cache
+	headers map[string]string
+}
+
+// httpError carries an explicit status through the operation path.
+type httpError struct {
+	status int
+	msg    string
+	err    error
+}
+
+func (e *httpError) Error() string {
+	if e.err != nil {
+		return fmt.Sprintf("%s: %v", e.msg, e.err)
+	}
+	return e.msg
+}
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(msg string, err error) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: msg, err: err}
+}
+
+// work wraps an operation with the request-robustness envelope: panic
+// isolation, drain refusal, in-flight accounting, deadline propagation, body
+// bounding, and fair-share admission. The envelope owns every status-code
+// decision so the operations only speak in data and errors.
+func (s *Server) work(name string, op func(*request) (*response, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Inc()
+		started := time.Now()
+		defer func() {
+			// A handler panic must never take down the service: recover,
+			// count it, and fail only this request. (Solver panics never
+			// even reach here — the codec degrades the chunk instead.)
+			if rec := recover(); rec != nil {
+				s.met.panics.Inc()
+				s.met.serverErr.Inc()
+				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		if s.draining.Load() {
+			s.refuseDraining(w)
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		// Re-check after joining the in-flight group: a drain that started
+		// in between must not accept new work it then has to wait for.
+		if s.draining.Load() {
+			s.refuseDraining(w)
+			return
+		}
+
+		ctx, cancel, err := s.requestContext(r)
+		if err != nil {
+			s.met.clientErr.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer cancel()
+
+		tenant := r.Header.Get(HeaderTenant)
+		if tenant == "" {
+			tenant = "anonymous"
+		}
+
+		var body []byte
+		if r.Method == http.MethodPost {
+			body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+			if err != nil {
+				var mbe *http.MaxBytesError
+				if errors.As(err, &mbe) {
+					s.met.clientErr.Inc()
+					http.Error(w, fmt.Sprintf("body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+					return
+				}
+				// Client went away or stalled past its deadline mid-upload.
+				s.met.clientErr.Inc()
+				http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+
+		resp, err := op(&request{ctx: ctx, tenant: tenant, body: body, r: r})
+		s.finish(w, resp, err, started)
+	}
+}
+
+// requestContext derives the per-request deadline context: request deadline
+// (header, clamped) over the client connection context, force-cancelled when
+// the server's base context dies during a forced drain.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultDeadline
+	if h := r.Header.Get(HeaderDeadlineMs); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid %s %q", HeaderDeadlineMs, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }, nil
+}
+
+func (s *Server) refuseDraining(w http.ResponseWriter) {
+	s.met.drained.Inc()
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "draining", http.StatusServiceUnavailable)
+}
+
+// finish maps an operation outcome to the response wire: explicit overload
+// (429), drain (503), deadline (504), client faults (4xx), everything else
+// (500) — never a silent hang.
+func (s *Server) finish(w http.ResponseWriter, resp *response, err error, started time.Time) {
+	s.met.latency.Observe(time.Since(started).Seconds())
+	if err == nil {
+		s.met.ok.Inc()
+		if resp.cached {
+			w.Header().Set(HeaderCache, cacheHeader(resp.cache))
+			switch resp.cache {
+			case CacheHit:
+				s.met.cacheHit.Inc()
+			case CacheShared:
+				s.met.cacheShare.Inc()
+			default:
+				s.met.cacheMiss.Inc()
+			}
+		}
+		for k, v := range resp.headers {
+			w.Header().Set(k, v)
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(resp.body)
+		return
+	}
+	var herr *httpError
+	switch {
+	case errors.Is(err, fairshare.ErrQueueFull) || errors.Is(err, fairshare.ErrShed):
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		if s.baseCtx.Err() != nil {
+			// The deadline fired because a forced drain cancelled the base
+			// context; report overload-go-away, not a client timeout.
+			s.refuseDraining(w)
+			return
+		}
+		s.met.deadline.Inc()
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		if s.baseCtx.Err() != nil {
+			s.refuseDraining(w)
+			return
+		}
+		// The client abandoned the request; nothing useful to send, but
+		// complete the exchange deterministically.
+		s.met.clientErr.Inc()
+		http.Error(w, "request cancelled", http.StatusBadRequest)
+	case errors.As(err, &herr):
+		if herr.status >= 500 {
+			s.met.serverErr.Inc()
+		} else {
+			s.met.clientErr.Inc()
+		}
+		http.Error(w, herr.Error(), herr.status)
+	case errors.Is(err, core.ErrCorrupt) || errors.Is(err, pipeline.ErrCorrupt) || errors.Is(err, stream.ErrCorrupt) || errors.Is(err, archive.ErrCorrupt):
+		s.met.clientErr.Inc()
+		http.Error(w, fmt.Sprintf("corrupt payload: %v", err), http.StatusUnprocessableEntity)
+	default:
+		s.met.serverErr.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func cacheHeader(o CacheOutcome) string {
+	switch o {
+	case CacheHit:
+		return "hit"
+	case CacheShared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// retryAfter derives the Retry-After hint from current pressure: one second
+// per queued-work multiple of the concurrency budget, clamped to [1, 30].
+func (s *Server) retryAfter() string {
+	total, _ := s.adm.Queued("")
+	conc := s.cfg.MaxConcurrent
+	if conc <= 0 {
+		conc = 64
+	}
+	secs := 1 + total/conc
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
+// codecOptions resolves per-request codec options (?solver= override).
+func (s *Server) codecOptions(r *http.Request) (core.Options, error) {
+	opts := core.Options{Solver: s.cfg.Solver, ChunkBytes: s.cfg.ChunkBytes}
+	if sv := r.URL.Query().Get("solver"); sv != "" {
+		if sv != "none" {
+			if _, err := solver.Get(sv); err != nil {
+				return opts, badRequest(fmt.Sprintf("unknown solver %q", sv), nil)
+			}
+		}
+		opts.Solver = sv
+	}
+	return opts, nil
+}
+
+// admit reserves fair-share capacity for the request and returns the release.
+func (s *Server) admit(req *request, weight int64) (func(), error) {
+	if err := s.adm.Acquire(req.ctx, req.tenant, weight); err != nil {
+		return nil, err
+	}
+	return func() { s.adm.Release(weight) }, nil
+}
+
+// cacheKey addresses a work result by operation, options, and content
+// checksum. CRC32C comes from the same integrity layer that frames the
+// containers, so the cache key is free for data the codec will checksum
+// anyway.
+func cacheKey(op string, opts core.Options, workers int, body []byte) string {
+	return fmt.Sprintf("%s:%s:%d:%d:%08x:%d", op, opts.Solver, opts.ChunkBytes, workers, checksum.Sum(body), len(body))
+}
+
+func (s *Server) opCompress(req *request) (*response, error) {
+	if len(req.body) == 0 {
+		return nil, badRequest("empty body", nil)
+	}
+	if len(req.body)%8 != 0 {
+		return nil, badRequest(fmt.Sprintf("body length %d is not a multiple of 8 (float64 stream)", len(req.body)), nil)
+	}
+	opts, err := s.codecOptions(req.r)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey("c", opts, s.cfg.Workers, req.body)
+	out, outcome, err := s.cache.Do(req.ctx, key, func() ([]byte, error) {
+		release, err := s.admit(req, int64(len(req.body)))
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if s.cfg.Workers > 1 {
+			return pipeline.CompressCtx(req.ctx, req.body, pipeline.Options{Core: opts, Workers: s.cfg.Workers})
+		}
+		return core.CompressCtx(req.ctx, req.body, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &response{
+		body:   out,
+		cache:  outcome,
+		cached: true,
+		headers: map[string]string{
+			HeaderRatio: fmt.Sprintf("%.4f", float64(len(req.body))/float64(len(out))),
+		},
+	}, nil
+}
+
+func (s *Server) opDecompress(req *request) (*response, error) {
+	if len(req.body) < 4 {
+		return nil, badRequest("body too short to be a PRIMACY container", nil)
+	}
+	opts, err := s.codecOptions(req.r)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey("d", core.Options{}, s.cfg.Workers, req.body)
+	out, outcome, err := s.cache.Do(req.ctx, key, func() ([]byte, error) {
+		release, err := s.admit(req, int64(len(req.body)))
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		switch string(req.body[:3]) {
+		case "PRP":
+			return pipeline.DecompressCtx(req.ctx, req.body, pipeline.Options{Core: opts, Workers: s.cfg.Workers})
+		case "PRM":
+			return core.DecompressCtx(req.ctx, req.body)
+		case "PRS":
+			return io.ReadAll(stream.NewReaderCtx(req.ctx, bytes.NewReader(req.body)))
+		default:
+			return nil, badRequest(fmt.Sprintf("unrecognized container magic %q", req.body[:3]), nil)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &response{body: out, cache: outcome, cached: true}, nil
+}

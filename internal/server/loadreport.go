@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LoadReport is the schema of BENCH_server.json: the saturation behavior of
+// primacyd measured by cmd/primacyload. One SaturationPoint per client count
+// in the sweep, plus the outcome of a mid-run drain when one was performed.
+type LoadReport struct {
+	// GeneratedBy records the producing tool invocation.
+	GeneratedBy string            `json:"generated_by"`
+	Config      LoadConfig        `json:"config"`
+	Points      []SaturationPoint `json:"points"`
+	Drain       DrainReport       `json:"drain"`
+}
+
+// LoadConfig summarizes the driver parameters behind a report.
+type LoadConfig struct {
+	Solver            string       `json:"solver"`
+	Workers           int          `json:"workers"`
+	PayloadBytes      int          `json:"payload_bytes"`
+	RequestsPerClient int          `json:"requests_per_client"`
+	MaxConcurrent     int          `json:"max_concurrent"`
+	MaxQueued         int          `json:"max_queued"`
+	Chaos             bool         `json:"chaos"`
+	Tenants           []TenantSpec `json:"tenants"`
+	Seed              int64        `json:"seed"`
+}
+
+// TenantSpec is one simulated tenant: its fair-share weight and the fraction
+// of driver requests it issues (skewed tenants issue more than their weight
+// entitles them to — that is the point of the experiment).
+type TenantSpec struct {
+	Name   string  `json:"name"`
+	Weight int     `json:"weight"`
+	Share  float64 `json:"share"`
+}
+
+// SaturationPoint is the measured behavior at one concurrency level.
+type SaturationPoint struct {
+	Clients  int     `json:"clients"`
+	Requests int64   `json:"requests"`
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"`     // 429 after retries exhausted
+	Retried  int64   `json:"retried"`  // 429s that were retried (jittered)
+	Drained  int64   `json:"drained"`  // 503 while draining
+	Deadline int64   `json:"deadline"` // 504
+	Errors   int64   `json:"errors"`   // transport or 5xx
+	Seconds  float64 `json:"seconds"`
+
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// ThroughputMBps is payload megabytes successfully processed per second.
+	ThroughputMBps float64 `json:"throughput_mbps"`
+	// ShedRate is the fraction of requests refused under overload.
+	ShedRate float64 `json:"shed_rate"`
+	// TenantOK counts successful requests per tenant — under saturation the
+	// ratios should track admission weights, not offered load.
+	TenantOK map[string]int64 `json:"tenant_ok"`
+}
+
+// DrainReport is the outcome of the driver's mid-run SIGTERM rehearsal.
+type DrainReport struct {
+	Performed bool `json:"performed"`
+	// Clean means Drain returned nil: every in-flight request finished or
+	// was explicitly cancelled.
+	Clean bool `json:"clean"`
+	// Refused counts requests answered 503 while the drain was in progress.
+	Refused int64 `json:"refused"`
+	// InFlightCompleted counts requests that were in flight when the drain
+	// started and still completed 200.
+	InFlightCompleted int64   `json:"in_flight_completed"`
+	Seconds           float64 `json:"seconds"`
+}
+
+// LoadLoadReport parses a committed BENCH_server.json.
+func LoadLoadReport(data []byte) (*LoadReport, error) {
+	var r LoadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("server: parsing load report: %w", err)
+	}
+	return &r, nil
+}
+
+// Check validates internal consistency: outcome counts sum to requests,
+// percentiles are ordered and finite, rates are rates, and a performed drain
+// was clean. The committed baseline must always pass.
+func (r *LoadReport) Check() error {
+	if len(r.Points) == 0 {
+		return fmt.Errorf("load report has no saturation points")
+	}
+	for i, p := range r.Points {
+		if p.Clients <= 0 || p.Requests <= 0 {
+			return fmt.Errorf("point %d: non-positive clients/requests", i)
+		}
+		if sum := p.OK + p.Shed + p.Drained + p.Deadline + p.Errors; sum != p.Requests {
+			return fmt.Errorf("point %d (clients=%d): outcomes %d != requests %d", i, p.Clients, sum, p.Requests)
+		}
+		if p.OK == 0 {
+			return fmt.Errorf("point %d (clients=%d): nothing succeeded", i, p.Clients)
+		}
+		for _, v := range []float64{p.P50Ms, p.P95Ms, p.P99Ms, p.ThroughputMBps, p.Seconds} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("point %d (clients=%d): non-finite measurement", i, p.Clients)
+			}
+		}
+		if p.P50Ms > p.P95Ms || p.P95Ms > p.P99Ms {
+			return fmt.Errorf("point %d (clients=%d): percentiles unordered: p50=%.2f p95=%.2f p99=%.2f",
+				i, p.Clients, p.P50Ms, p.P95Ms, p.P99Ms)
+		}
+		if p.ShedRate < 0 || p.ShedRate > 1 {
+			return fmt.Errorf("point %d (clients=%d): shed rate %.3f outside [0,1]", i, p.Clients, p.ShedRate)
+		}
+		var tenantOK int64
+		for _, n := range p.TenantOK {
+			tenantOK += n
+		}
+		if tenantOK != p.OK {
+			return fmt.Errorf("point %d (clients=%d): tenant OK sum %d != OK %d", i, p.Clients, tenantOK, p.OK)
+		}
+	}
+	if !sort.SliceIsSorted(r.Points, func(a, b int) bool { return r.Points[a].Clients < r.Points[b].Clients }) {
+		return fmt.Errorf("saturation points not ordered by client count")
+	}
+	if r.Drain.Performed && !r.Drain.Clean {
+		return fmt.Errorf("recorded drain was dirty: requests were abandoned, not cancelled")
+	}
+	return nil
+}
+
+// percentileMs picks the p-th percentile (0..100) from sorted latencies.
+func percentileMs(sortedMs []float64, p float64) float64 {
+	if len(sortedMs) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sortedMs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sortedMs) {
+		idx = len(sortedMs) - 1
+	}
+	return sortedMs[idx]
+}
+
+// SummarizePoint folds raw per-request outcomes into a SaturationPoint.
+// latenciesMs are the wall times of successful requests only.
+func SummarizePoint(clients int, latenciesMs []float64, okBytes int64, seconds float64, p SaturationPoint) SaturationPoint {
+	sort.Float64s(latenciesMs)
+	p.Clients = clients
+	p.Requests = p.OK + p.Shed + p.Drained + p.Deadline + p.Errors
+	p.Seconds = seconds
+	p.P50Ms = percentileMs(latenciesMs, 50)
+	p.P95Ms = percentileMs(latenciesMs, 95)
+	p.P99Ms = percentileMs(latenciesMs, 99)
+	if seconds > 0 {
+		p.ThroughputMBps = float64(okBytes) / (1 << 20) / seconds
+	}
+	if p.Requests > 0 {
+		p.ShedRate = float64(p.Shed+p.Drained) / float64(p.Requests)
+	}
+	return p
+}

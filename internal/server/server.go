@@ -1,0 +1,229 @@
+// Package server implements primacyd, the fault-tolerant multi-tenant
+// PRIMACY compression service. It is designed robustness-first:
+//
+//   - every request runs under an explicit deadline propagated through the
+//     codec's *Ctx paths, so a stuck request costs bounded compute;
+//   - admission goes through a fairshare.Admitter — per-tenant weighted
+//     queues over a global memory budget — so one hot tenant degrades to
+//     its fair share instead of starving the node;
+//   - overload is shed explicitly (429/503 + Retry-After, shed-oldest on
+//     queue overflow) instead of queuing without bound;
+//   - a request that panics is recovered at the request boundary (the codec
+//     already isolates solver panics per chunk), so a poisoned payload can
+//     never kill the process;
+//   - identical concurrent requests are deduplicated single-flight against
+//     a content-addressed result cache keyed by CRC32C of the input;
+//   - Drain stops intake, flips /readyz, finishes or deadline-cancels
+//     in-flight work, and leaves the process ready for a clean exit 0.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"primacy/internal/fairshare"
+	"primacy/internal/solver"
+	"primacy/internal/telemetry"
+)
+
+// Config parameterizes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// Solver is the default codec backend (zlib); per-request override via
+	// ?solver=.
+	Solver string
+	// ChunkBytes is the codec chunk size (codec default when 0).
+	ChunkBytes int
+	// Workers is the per-request pipeline width; 1 (default) keeps requests
+	// sequential so concurrency comes from request parallelism, which the
+	// admitter governs.
+	Workers int
+
+	// MemBudget, MaxConcurrent, MaxQueuedPerTenant, MaxQueued, and
+	// TenantWeights configure the fair-share admitter (see
+	// fairshare.Config; zero fields take its defaults).
+	MemBudget          int64
+	MaxConcurrent      int
+	MaxQueuedPerTenant int
+	MaxQueued          int
+	TenantWeights      map[string]int
+
+	// DefaultDeadline bounds requests that carry no X-Primacy-Deadline-Ms
+	// header (30s when 0); MaxDeadline clamps requested deadlines (2m when
+	// 0).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+
+	// MaxBodyBytes caps request bodies (64 MiB when 0) — the first line of
+	// memory defense, ahead of admission.
+	MaxBodyBytes int64
+
+	// CacheBytes bounds the content-addressed result cache (64 MiB when 0,
+	// negative disables retention; single-flight dedup always applies).
+	CacheBytes int64
+
+	// MaxArchiveBytes caps one tenant's raw archived bytes (256 MiB when 0).
+	MaxArchiveBytes int64
+
+	// Metrics, when set, receives the server's counters and serves
+	// /metrics. Nil disables both.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Solver == "" {
+		c.Solver = "zlib"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxArchiveBytes <= 0 {
+		c.MaxArchiveBytes = 256 << 20
+	}
+	return c
+}
+
+// serverMetrics are the daemon's own counters, registered on Config.Metrics
+// (all handles nil-safe when metrics are disabled).
+type serverMetrics struct {
+	requests   *telemetry.Counter
+	ok         *telemetry.Counter
+	shed       *telemetry.Counter // 429: queue full / shed-oldest
+	drained    *telemetry.Counter // 503: refused while draining
+	deadline   *telemetry.Counter // 504: deadline exceeded
+	clientErr  *telemetry.Counter // other 4xx
+	serverErr  *telemetry.Counter // 5xx other than drain refusals
+	panics     *telemetry.Counter
+	cacheHit   *telemetry.Counter
+	cacheMiss  *telemetry.Counter
+	cacheShare *telemetry.Counter
+	latency    *telemetry.Histogram
+}
+
+// Server is the primacyd HTTP service. Create with New, mount Handler, and
+// call Drain before exiting.
+type Server struct {
+	cfg   Config
+	adm   *fairshare.Admitter
+	cache *resultCache
+	mux   *http.ServeMux
+	met   serverMetrics
+
+	// baseCtx is cancelled to deadline-cancel all in-flight work during a
+	// forced drain.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	// inflight tracks requests past the drain gate; Drain waits on it.
+	inflight sync.WaitGroup
+	draining atomic.Bool
+
+	archMu   sync.Mutex
+	archives map[string]*tenantArchive
+}
+
+// New validates cfg and returns a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if _, err := solver.Get(cfg.Solver); err != nil && cfg.Solver != "none" {
+		return nil, fmt.Errorf("server: default solver: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg: cfg,
+		adm: fairshare.New(fairshare.Config{
+			MemBudget:          cfg.MemBudget,
+			MaxConcurrent:      cfg.MaxConcurrent,
+			MaxQueuedPerTenant: cfg.MaxQueuedPerTenant,
+			MaxQueued:          cfg.MaxQueued,
+			Weights:            cfg.TenantWeights,
+		}),
+		cache:      newResultCache(cfg.CacheBytes),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		archives:   make(map[string]*tenantArchive),
+	}
+	if r := cfg.Metrics; r != nil {
+		s.met = serverMetrics{
+			requests:   r.Counter("primacyd_requests_total", "Requests received on work endpoints."),
+			ok:         r.Counter("primacyd_ok_total", "Requests answered 2xx."),
+			shed:       r.Counter("primacyd_shed_total", "Requests shed with 429 under overload."),
+			drained:    r.Counter("primacyd_drain_refused_total", "Requests refused with 503 while draining."),
+			deadline:   r.Counter("primacyd_deadline_total", "Requests that exceeded their deadline (504)."),
+			clientErr:  r.Counter("primacyd_client_error_total", "Requests answered 4xx (bad input, too large, not found)."),
+			serverErr:  r.Counter("primacyd_server_error_total", "Requests answered 5xx outside drain refusals."),
+			panics:     r.Counter("primacyd_panics_total", "Request handlers recovered from a panic."),
+			cacheHit:   r.Counter("primacyd_cache_hits_total", "Work requests served from the result cache."),
+			cacheMiss:  r.Counter("primacyd_cache_misses_total", "Work requests that computed their result."),
+			cacheShare: r.Counter("primacyd_cache_shared_total", "Work requests that shared a concurrent identical computation."),
+			latency:    r.Histogram("primacyd_request_seconds", "Wall time of work requests.", nil),
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Admitter exposes the fair-share gate (load driver and tests).
+func (s *Server) Admitter() *fairshare.Admitter { return s.adm }
+
+// drainGrace is how long a forced drain waits, after cancelling in-flight
+// work, for handlers to unwind before declaring the drain dirty.
+const drainGrace = 5 * time.Second
+
+// Drain performs the graceful-shutdown sequence: flip /readyz and refuse new
+// work with 503, let in-flight requests finish, and — if ctx expires first —
+// deadline-cancel them through the codec's context paths and wait a short
+// grace for the unwind. The caller stops the listener (http.Server.Shutdown)
+// and flushes telemetry; a nil return means every request completed or was
+// explicitly cancelled, so the process can exit 0.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline-cancel in-flight work and give handlers a bounded unwind.
+	s.cancelBase()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(drainGrace):
+		return fmt.Errorf("server: drain timed out with requests still in flight")
+	}
+}
+
+// Close force-cancels all in-flight work (tests and error paths; prefer
+// Drain).
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.cancelBase()
+}

@@ -1,0 +1,542 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"primacy/internal/bytesplit"
+	"primacy/internal/core"
+	"primacy/internal/faultinject"
+	"primacy/internal/telemetry"
+)
+
+// testData builds deterministic simulation-like float64 bytes.
+func testData(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]float64, n)
+	v := 300.0
+	for i := range values {
+		v += rng.NormFloat64()
+		values[i] = v
+	}
+	return bytesplit.Float64sToBytes(values)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		s.Close()
+		ts.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body []byte, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := testData(20_000, 1)
+	resp, enc := post(t, ts.URL+"/v1/compress", raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, enc)
+	}
+	if resp.Header.Get(HeaderRatio) == "" {
+		t.Error("missing ratio header")
+	}
+	if got := resp.Header.Get(HeaderCache); got != "miss" {
+		t.Errorf("first compress cache header = %q, want miss", got)
+	}
+	resp, dec := post(t, ts.URL+"/v1/decompress", enc, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, dec)
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatalf("round trip mismatch: %d bytes != %d bytes", len(dec), len(raw))
+	}
+}
+
+func TestPipelineWorkersRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, ChunkBytes: 16 * 1024})
+	raw := testData(40_000, 2)
+	resp, enc := post(t, ts.URL+"/v1/compress", raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, enc)
+	}
+	if string(enc[:3]) != "PRP" {
+		t.Fatalf("workers>1 should produce a parallel container, got %q", enc[:3])
+	}
+	resp, dec := post(t, ts.URL+"/v1/decompress", enc, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, dec)
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestBadInputsGetExplicit4xx(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		path string
+		body []byte
+		want int
+	}{
+		{"empty compress", "/v1/compress", nil, http.StatusBadRequest},
+		{"odd length", "/v1/compress", []byte{1, 2, 3}, http.StatusBadRequest},
+		{"garbage decompress", "/v1/decompress", []byte("XXXX not a container"), http.StatusBadRequest},
+		{"unknown solver", "/v1/compress?solver=nope", make([]byte, 16), http.StatusBadRequest},
+		{"short decompress", "/v1/decompress", []byte{1}, http.StatusBadRequest},
+	} {
+		resp, body := post(t, ts.URL+tc.path, tc.body, nil)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, resp.StatusCode, body, tc.want)
+		}
+	}
+}
+
+func TestCorruptContainerGets422(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := testData(10_000, 3)
+	resp, enc := post(t, ts.URL+"/v1/compress", raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	enc[len(enc)/2] ^= 0xFF
+	resp, body := post(t, ts.URL+"/v1/decompress", enc, nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt container: %d (%s), want 422", resp.StatusCode, body)
+	}
+}
+
+func TestBodyTooLargeGets413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	resp, _ := post(t, ts.URL+"/v1/compress", make([]byte, 4096), nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestResultCacheHitAndDedup(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, ts := newTestServer(t, Config{Solver: "bzlib", Metrics: reg, ChunkBytes: 64 * 1024})
+	raw := testData(64_000, 4) // bzlib is slow enough that followers overlap
+
+	// Concurrent identical requests: exactly one computes, the rest share.
+	const clients = 4
+	var wg sync.WaitGroup
+	outcomes := make([]string, clients)
+	encs := make([][]byte, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, enc := post(t, ts.URL+"/v1/compress", raw, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: %d", i, resp.StatusCode)
+				return
+			}
+			outcomes[i] = resp.Header.Get(HeaderCache)
+			encs[i] = enc
+		}(i)
+	}
+	wg.Wait()
+	misses := 0
+	for i, o := range outcomes {
+		if o == "miss" {
+			misses++
+		}
+		if !bytes.Equal(encs[i], encs[0]) {
+			t.Fatalf("client %d got a different result", i)
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d misses across identical concurrent requests, want 1 (%v)", misses, outcomes)
+	}
+	// A later identical request is a plain hit.
+	resp, _ := post(t, ts.URL+"/v1/compress", raw, nil)
+	if got := resp.Header.Get(HeaderCache); got != "hit" {
+		t.Errorf("repeat request cache header = %q, want hit", got)
+	}
+	if s.cache.Len() == 0 {
+		t.Error("cache retained nothing")
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("primacyd_cache_hits_total"); v != 1 {
+		t.Errorf("cache hits = %d, want 1", v)
+	}
+}
+
+func TestCacheEvictionStaysBounded(t *testing.T) {
+	c := newResultCache(1024)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(context.Background(), key, func() ([]byte, error) {
+			return make([]byte, 100), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Bytes() > 1024 {
+		t.Fatalf("cache grew to %d bytes over the 1024 budget", c.Bytes())
+	}
+	if c.Len() == 0 || c.Len() > 10 {
+		t.Fatalf("cache retained %d entries, want a bounded handful", c.Len())
+	}
+}
+
+func TestCacheLeaderErrorNotPoisoned(t *testing.T) {
+	c := newResultCache(1 << 20)
+	var calls atomic.Int64
+	_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("leader error swallowed")
+	}
+	out, outcome, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		calls.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || string(out) != "ok" || outcome != CacheMiss {
+		t.Fatalf("retry after leader error: %q %v %v", out, outcome, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestDeadlineExceededGets504(t *testing.T) {
+	// Small chunks give the codec frequent cancellation points.
+	_, ts := newTestServer(t, Config{ChunkBytes: 8 * 1024, CacheBytes: -1})
+	raw := testData(400_000, 5)
+	resp, body := post(t, ts.URL+"/v1/compress", raw, map[string]string{
+		HeaderDeadlineMs: "1",
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: %d (%s), want 504", resp.StatusCode, body)
+	}
+}
+
+func TestInvalidDeadlineHeaderGets400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := post(t, ts.URL+"/v1/compress", make([]byte, 16), map[string]string{
+		HeaderDeadlineMs: "never",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad deadline header: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOverloadShedsWith429AndRetryAfter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		Solver:             "bzlib",
+		MaxConcurrent:      1,
+		MaxQueuedPerTenant: 1,
+		MaxQueued:          1,
+		CacheBytes:         -1,
+		Metrics:            reg,
+	})
+	raw := testData(64_000, 6)
+	const clients = 8
+	var wg sync.WaitGroup
+	var ok, shed atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct payload suffix defeats single-flight so every client
+			// really contends for admission.
+			body := append(append([]byte(nil), raw...), testData(8, int64(i))...)
+			resp, _ := post(t, ts.URL+"/v1/compress", body, nil)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				shed.Add(1)
+			default:
+				t.Errorf("client %d: unexpected status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok.Load() == 0 {
+		t.Error("no request succeeded under overload")
+	}
+	if shed.Load() == 0 {
+		t.Error("no request was shed: overload queued unboundedly")
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("primacyd_shed_total"); v != shed.Load() {
+		t.Errorf("shed counter = %d, want %d", v, shed.Load())
+	}
+}
+
+func TestPoisonedPayloadDegradesInsteadOfKilling(t *testing.T) {
+	// A solver that panics on every chunk: the codec's per-chunk panic
+	// isolation degrades to raw passthrough, the request still succeeds,
+	// and the round trip is byte-identical.
+	ps, err := faultinject.NewPanicky("server-test-panicky", "zlib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.PanicEvery = 1
+	_, ts := newTestServer(t, Config{Solver: "server-test-panicky", CacheBytes: -1})
+	raw := testData(10_000, 7)
+	resp, enc := post(t, ts.URL+"/v1/compress", raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poisoned compress: %d %s", resp.StatusCode, enc)
+	}
+	dec, err := core.Decompress(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatal("degraded round trip lost data")
+	}
+}
+
+func TestHandlerPanicIsolatedTo500(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.work("explode", func(*request) (*response, error) {
+		panic("request-scoped explosion")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodPost, "/explode", strings.NewReader("x")))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: %d, want 500", rec.Code)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("primacyd_panics_total"); v != 1 {
+		t.Errorf("panic counter = %d, want 1", v)
+	}
+	// The server keeps serving.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", rec.Code)
+	}
+}
+
+func TestArchivePutGetRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hdr := map[string]string{HeaderTenant: "acme"}
+	v1 := testData(5_000, 8)
+	v2 := testData(5_000, 9)
+	for i, tc := range []struct {
+		q    string
+		body []byte
+	}{
+		{"name=temp&step=0", v1},
+		{"name=temp&step=1", v2},
+	} {
+		resp, body := post(t, ts.URL+"/v1/archive/put?"+tc.q, tc.body, hdr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("put %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	// Duplicate put conflicts.
+	resp, _ := post(t, ts.URL+"/v1/archive/put?name=temp&step=0", v1, hdr)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate put: %d, want 409", resp.StatusCode)
+	}
+	// Entry readback.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/archive/get?name=temp&step=1", nil)
+	req.Header.Set(HeaderTenant, "acme")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d %s", r2.StatusCode, got)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("archive entry round trip mismatch")
+	}
+	// Missing entry 404s; other tenants see nothing.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/archive/get?name=temp&step=9", nil)
+	req.Header.Set(HeaderTenant, "acme")
+	r3, _ := http.DefaultClient.Do(req)
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing step: %d, want 404", r3.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/v1/archive/get?name=temp&step=0")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant get: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthReadyMetricsEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, ts := newTestServer(t, Config{Metrics: reg})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("readyz: %d %q", resp.StatusCode, body)
+	}
+	raw := testData(2_000, 10)
+	post(t, ts.URL+"/v1/compress", raw, nil)
+	resp, body = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "primacyd_requests_total") {
+		t.Errorf("metrics exposition missing server counters:\n%.400s", body)
+	}
+	s.draining.Store(true)
+	resp, _ = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestGracefulDrainFinishesInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, ts := newTestServer(t, Config{Solver: "bzlib", CacheBytes: -1})
+	raw := testData(64_000, 11)
+	resultCh := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/compress", raw, nil)
+		resultCh <- resp.StatusCode
+	}()
+	waitInflight(t, s)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := <-resultCh; code != http.StatusOK {
+		t.Fatalf("in-flight request during graceful drain: %d, want 200", code)
+	}
+	// New work is refused with 503 + Retry-After.
+	resp, _ := post(t, ts.URL+"/v1/compress", raw, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	checkGoroutinesSettled(t, before)
+}
+
+func TestForcedDrainCancelsInFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Solver:     "bzlib",
+		ChunkBytes: 8 * 1024,
+		CacheBytes: -1,
+	})
+	raw := testData(600_000, 12)
+	resultCh := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/compress", raw, nil)
+		resultCh <- resp.StatusCode
+	}()
+	waitInflight(t, s)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("forced drain did not unwind: %v", err)
+	}
+	select {
+	case code := <-resultCh:
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("cancelled in-flight request: %d, want 503", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed after forced drain")
+	}
+}
+
+func waitInflight(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, _ := s.adm.InFlight(); n > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func checkGoroutinesSettled(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+8 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d -> %d", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"primacy/internal/archive"
 	"primacy/internal/core"
 	"primacy/internal/datagen"
+	"primacy/internal/fairshare"
 	"primacy/internal/governor"
 	"primacy/internal/hpcsim"
 	"primacy/internal/model"
@@ -436,6 +437,7 @@ func EnableTelemetry(m *Metrics) {
 	stream.EnableTelemetry(m)
 	archive.EnableTelemetry(m)
 	governor.EnableTelemetry(m)
+	fairshare.EnableTelemetry(m)
 	retry.EnableTelemetry(m)
 }
 
@@ -473,6 +475,7 @@ func EnableTracing(t *Tracer) {
 	stream.EnableTracing(t)
 	archive.EnableTracing(t)
 	governor.EnableTracing(t)
+	fairshare.EnableTracing(t)
 	retry.EnableTracing(t)
 }
 

@@ -1,0 +1,41 @@
+package primacy
+
+import (
+	"os"
+	"testing"
+
+	"primacy/internal/server"
+)
+
+// The committed server load baseline must stay parseable and internally
+// consistent: outcome counts that sum, ordered finite percentiles, a shed
+// rate that is a rate, and a drain rehearsal that completed clean.
+// Regenerate with `go run ./cmd/primacyload -o BENCH_server.json` after
+// server-relevant changes.
+func TestCommittedServerBaselineValid(t *testing.T) {
+	data, err := os.ReadFile("BENCH_server.json")
+	if err != nil {
+		t.Fatalf("committed server baseline missing: %v", err)
+	}
+	rep, err := server.LoadLoadReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drain.Performed || !rep.Drain.Clean {
+		t.Error("committed baseline must include a clean drain rehearsal")
+	}
+	// The whole point of the experiment: at least one sweep point must have
+	// pushed the server into explicit load shedding.
+	saturated := false
+	for _, p := range rep.Points {
+		if p.Shed > 0 {
+			saturated = true
+		}
+	}
+	if !saturated {
+		t.Error("no sweep point saturated the server; raise the client counts")
+	}
+}
