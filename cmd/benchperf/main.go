@@ -8,9 +8,11 @@
 //	benchperf                         # print baseline to stdout
 //	benchperf -o BENCH_throughput.json
 //	benchperf -n 262144 -mintime 500ms
+//	benchperf -precond                # compare preconditioner selection modes
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,7 +30,14 @@ func main() {
 	samples := flag.Int("samples", 0, "fixed-work samples per measurement (0 = default)")
 	reps := flag.Int("reps", 0, "pin the per-sample rep count instead of calibrating")
 	out := flag.String("o", "", "write baseline JSON to this file (stdout when empty)")
+	precondMode := flag.Bool("precond", false, "compare preconditioner selection modes (fixed/apriori/aposteriori) over all datasets instead of measuring the throughput baseline")
+	precondSolver := flag.String("precond-solver", "zlib", "solver for the -precond comparison")
 	flag.Parse()
+
+	if *precondMode {
+		runPrecond(*n, *precondSolver, *out)
+		return
+	}
 
 	cfg := experiments.PerfConfig{
 		N:       *n,
@@ -71,5 +80,35 @@ func main() {
 		fmt.Printf("  telemetry %.2f / %.2f ±%.3f\n", o.TelemetryNsPerOp/1e6, o.TelemetryMedianNsPerOp/1e6, o.TelemetryStddevNsPerOp/1e6)
 		fmt.Printf("  tracing   %.2f / %.2f ±%.3f (%+.1f%% vs disabled)\n",
 			o.TracingNsPerOp/1e6, o.TracingMedianNsPerOp/1e6, o.TracingStddevNsPerOp/1e6, o.TracingOverheadPct())
+	}
+}
+
+// runPrecond runs the selection-mode comparison and prints a per-dataset
+// table (or writes the JSON report when -o is set).
+func runPrecond(n int, solver, out string) {
+	cmp, err := experiments.ComparePrecond(experiments.PrecondConfig{N: n, Solver: solver})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("preconditioner selection (%s, %d elements/dataset):\n", cmp.Solver, cmp.Elements)
+	for _, e := range cmp.Entries {
+		fmt.Printf("%-16s", e.Dataset)
+		for _, m := range e.Modes {
+			fmt.Printf("  %s %6.4f (%6.1f MB/s)", m.Mode, m.Ratio, m.CTPMBps)
+		}
+		if a := e.Result("aposteriori"); a != nil && len(a.TransformChunks) > 0 {
+			fmt.Printf("  picks %v", a.TransformChunks)
+		}
+		fmt.Println()
 	}
 }

@@ -34,7 +34,7 @@ const (
 
 // usageText is printed for -h; flag defaults are appended by parseArgs.
 const usageText = `usage:
-  primacy -c [-solver zlib] [-chunk N] [-workers N] [-o out.prm] input.f64
+  primacy -c [-solver zlib] [-chunk N] [-workers N] [-precond MODE] [-o out.prm] input.f64
   primacy -d [-salvage] [-workers N] [-o out.f64] input.prm
   primacy -stats input.f64
   primacy stats [-workers N] [-metrics-addr host:port] input.f64
@@ -114,6 +114,7 @@ type cli struct {
 	noISOBAR   bool
 	reuseIndex bool
 	float32el  bool
+	precond    string
 	input      string
 
 	// Telemetry surface: the `stats` subcommand dumps the registry after the
@@ -196,6 +197,7 @@ func parseArgs(args []string) (*cli, error) {
 	fs.BoolVar(&c.noISOBAR, "no-isobar", false, "compress all mantissa bytes (ablation)")
 	fs.BoolVar(&c.reuseIndex, "reuse-index", false, "emit indexes only on distribution shift")
 	fs.BoolVar(&c.float32el, "f32", false, "treat input as float32 elements")
+	fs.StringVar(&c.precond, "precond", "", "preconditioner selection mode: apriori, aposteriori (default: fixed chain)")
 	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics during the run")
 	fs.DurationVar(&c.metricsHold, "metrics-hold", 0, "with -metrics-addr: keep the endpoint up this long after the run")
 	fs.StringVar(&c.traceOut, "trace-out", "", "stream every trace span as JSONL to FILE during the run")
@@ -213,6 +215,9 @@ func parseArgs(args []string) (*cli, error) {
 		return nil, fmt.Errorf("exactly one input file required (got %d)", fs.NArg())
 	}
 	c.input = fs.Arg(0)
+	if _, err := primacy.ParsePrecondMode(c.precond); err != nil {
+		return nil, fmt.Errorf("-precond: %w", err)
+	}
 	if c.showStats {
 		c.compress = true
 	}
@@ -269,6 +274,9 @@ func (c *cli) options() primacy.Options {
 	}
 	if c.float32el {
 		opts.Precision = primacy.Float32
+	}
+	if mode, err := primacy.ParsePrecondMode(c.precond); err == nil && mode != primacy.PrecondFixed {
+		opts.Precond = primacy.PrecondOptions{Selection: mode}
 	}
 	return opts
 }

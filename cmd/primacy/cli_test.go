@@ -63,6 +63,55 @@ func TestOptionsMapping(t *testing.T) {
 	}
 }
 
+// TestPrecondFlag: -precond selects a preconditioner mode (v3 container on
+// disk), round-trips, and rejects unknown modes at parse time.
+func TestPrecondFlag(t *testing.T) {
+	c, err := parseArgs([]string{"-c", "-precond", "aposteriori", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.options().Precond.Selection != primacy.PrecondAPosteriori {
+		t.Fatalf("options mapping broken: %+v", c.options())
+	}
+	if _, err := parseArgs([]string{"-c", "-precond", "nope", "x"}); err == nil {
+		t.Fatal("unknown precond mode accepted")
+	}
+
+	dir := t.TempDir()
+	in := writeTestInput(t, dir, 5_000)
+	raw, _ := os.ReadFile(in)
+	var out bytes.Buffer
+	c, err = parseArgs([]string{"-c", "-workers", "1", "-precond", "apriori", in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.run(&out); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.ReadFile(in + ".prm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc[:4]) != "PRM3" {
+		t.Fatalf("-precond container magic %q, want PRM3", enc[:4])
+	}
+	restored := filepath.Join(dir, "rt.f64")
+	d, err := parseArgs([]string{"-d", "-o", restored, in + ".prm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("-precond round trip mismatch")
+	}
+}
+
 func TestCompressDecompressRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTestInput(t, dir, 20_000)

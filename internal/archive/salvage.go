@@ -116,7 +116,7 @@ func nextEntryOrContainer(buf []byte, from int) int {
 		from = len(buf)
 	}
 	best := -1
-	for _, m := range []string{entryMagic, "PRM2", "PRM1"} {
+	for _, m := range []string{entryMagic, "PRM3", "PRM2", "PRM1"} {
 		if i := bytes.Index(buf[from:], []byte(m)); i >= 0 {
 			cand := from + i
 			if best < 0 || cand < best {

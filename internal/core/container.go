@@ -11,11 +11,15 @@ import (
 )
 
 // Container magics. v1 is the original checksum-less layout; v2 appends a
-// CRC32C to the fixed header and frames every chunk record with one.
-// Writers emit v2; readers accept both.
+// CRC32C to the fixed header and frames every chunk record with one; v3 keeps
+// the v2 header and framing but inserts a preconditioner transform-ID byte
+// after each non-raw chunk record's flag byte. Writers emit v2 unless the
+// preconditioner layer departs from the classic fixed chain (then v3);
+// readers accept all three.
 const (
 	magicV1 = "PRM1"
 	magicV2 = "PRM2"
+	magicV3 = "PRM3"
 )
 
 // ErrChecksum indicates a CRC32C mismatch in a v2 container. It is always
@@ -23,8 +27,9 @@ const (
 // test for either.
 var ErrChecksum = errors.New("checksum mismatch")
 
-// minChunkRecLen is the smallest well-formed chunk record: rawLen u32 +
-// index flag + idsLen u32 + ISOBAR mask + compLen u32 + incompLen u32.
+// minChunkRecLen is the smallest well-formed v1/v2 chunk record: rawLen u32 +
+// index flag + idsLen u32 + ISOBAR mask + compLen u32 + incompLen u32. v3
+// records add a transform-ID byte after the flag (see header.minRecLen).
 const minChunkRecLen = 18
 
 // maxChunkRaw caps the claimed decoded size of a single chunk. The codec
@@ -50,12 +55,21 @@ type header struct {
 }
 
 // frameHdrLen is the per-chunk framing overhead: u32 length, plus a u32
-// CRC32C in v2.
+// CRC32C in v2 and later.
 func (h *header) frameHdrLen() int {
 	if h.version >= 2 {
 		return 8
 	}
 	return 4
+}
+
+// minRecLen is the smallest well-formed non-raw chunk record for the
+// container's version: v3 records carry one extra transform-ID byte.
+func (h *header) minRecLen() int {
+	if h.version >= 3 {
+		return minChunkRecLen + 1
+	}
+	return minChunkRecLen
 }
 
 // parseHeader parses and validates the fixed container prefix. It fails
@@ -72,6 +86,8 @@ func parseHeader(data []byte) (*header, error) {
 		h.version = 1
 	case magicV2:
 		h.version = 2
+	case magicV3:
+		h.version = 3
 	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -133,13 +149,16 @@ func (h *header) frame(data []byte, pos int) (rec []byte, next int, err error) {
 }
 
 // resync scans forward from `from` for the next plausible chunk frame. For
-// v2 plausibility means a bounds-valid length whose CRC32C verifies; for v1
-// (no checksums) it means a structurally valid record prefix.
+// v2 and later plausibility means a bounds-valid length whose CRC32C
+// verifies; for v1 (no checksums) it means a structurally valid record
+// prefix. Degraded raw-passthrough records are shorter than minChunkRecLen,
+// so the scan floor is the raw record overhead — a raw chunk right after a
+// damaged one must still be recoverable.
 func (h *header) resync(data []byte, from int) (int, bool) {
 	fh := h.frameHdrLen()
-	for pos := from; pos+fh+minChunkRecLen <= len(data); pos++ {
+	for pos := from; pos+fh+rawChunkRecLen <= len(data); pos++ {
 		clen := int(binary.LittleEndian.Uint32(data[pos:]))
-		if clen < minChunkRecLen || clen > len(data)-pos-fh {
+		if clen < rawChunkRecLen || clen > len(data)-pos-fh {
 			continue
 		}
 		rec := data[pos+fh : pos+fh+clen]
@@ -150,7 +169,13 @@ func (h *header) resync(data []byte, from int) (int, bool) {
 			continue
 		}
 		rawLen := int(binary.LittleEndian.Uint32(rec))
-		if rawLen <= 0 || rawLen > maxChunkRaw || rawLen%h.lay.ElemBytes != 0 || rec[4] > 1 {
+		// rec[4] is the flag byte: 0/1 index flag or rawChunkFlag (degraded
+		// raw passthrough, accepted everywhere else — rejecting it here
+		// desynced salvage on v1 containers with degraded chunks).
+		if rawLen <= 0 || rawLen > maxChunkRaw || rawLen%h.lay.ElemBytes != 0 || rec[4] > rawChunkFlag {
+			continue
+		}
+		if rec[4] != rawChunkFlag && clen < h.minRecLen() {
 			continue
 		}
 		return pos, true
@@ -178,7 +203,7 @@ func Frame(data []byte) (encLen, rawLen, version int, err error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		if len(rec) < rawChunkRecLen || (rec[4] != rawChunkFlag && len(rec) < minChunkRecLen) {
+		if len(rec) < rawChunkRecLen || (rec[4] != rawChunkFlag && len(rec) < h.minRecLen()) {
 			return 0, 0, 0, fmt.Errorf("%w: chunk record %d bytes", ErrCorrupt, len(rec))
 		}
 		crl := int(binary.LittleEndian.Uint32(rec))

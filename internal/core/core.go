@@ -20,6 +20,7 @@ import (
 	"primacy/internal/chunker"
 	"primacy/internal/freq"
 	"primacy/internal/isobar"
+	"primacy/internal/precond"
 	"primacy/internal/solver"
 	"primacy/internal/trace"
 )
@@ -86,6 +87,32 @@ func (p Precision) layout() (bytesplit.Layout, error) {
 // and shard/chunk rounding instead of assuming float64.
 func (p Precision) Layout() (bytesplit.Layout, error) { return p.layout() }
 
+// PrecondOptions configures the pluggable preconditioner layer. The zero
+// value — Fixed selection of the classic chain — reproduces the historical
+// pipeline byte-for-byte in a v2 container; any other setting switches the
+// writer to the v3 container, whose chunk records carry the transform each
+// chunk was written with (readers accept all versions regardless).
+type PrecondOptions struct {
+	// Selection picks how the per-chunk transform is chosen (default
+	// Fixed: always Transform, no per-chunk work).
+	Selection precond.SelectionMode
+	// Transform is the transform applied in Fixed mode (default the
+	// classic chain). Ignored by the auto-selecting modes.
+	Transform precond.TransformID
+	// Candidates restricts the auto-selecting modes' candidate set
+	// (default: every registered transform). Must be empty in Fixed mode.
+	Candidates []precond.TransformID
+	// SampleElems caps the per-chunk selection sample in elements
+	// (precond.DefaultSampleElems when 0).
+	SampleElems int
+}
+
+// enabled reports whether the preconditioner layer departs from the classic
+// fixed chain — the condition under which the writer emits a v3 container.
+func (p PrecondOptions) enabled() bool {
+	return p.Selection != precond.Fixed || p.Transform != precond.IDChain || len(p.Candidates) > 0
+}
+
 // Options configures the codec.
 type Options struct {
 	// Solver names the registered standard compressor (default "zlib").
@@ -105,6 +132,11 @@ type Options struct {
 	DisableISOBAR bool
 	// ISOBAR tunes the mantissa analyzer.
 	ISOBAR isobar.Options
+	// Precond configures the pluggable preconditioner registry: which
+	// transform precedes the chain, and whether it is fixed or chosen per
+	// chunk (a priori sampling or a posteriori trial compression). The
+	// zero value keeps the classic chain and the v2 container.
+	Precond PrecondOptions
 }
 
 func (o Options) solverName() string {
@@ -151,6 +183,10 @@ type Stats struct {
 	// healthy run; a non-zero value means the container is complete and
 	// decompressible, but those chunks carry no compression.
 	DegradedChunks int
+	// TransformChunks counts chunks by the preconditioner transform they
+	// were written with, keyed by registry name. Nil unless the
+	// preconditioner layer is enabled (Options.Precond non-zero).
+	TransformChunks map[string]int
 }
 
 // PrecThroughput reports raw preconditioner throughput in bytes/second.
@@ -212,6 +248,30 @@ type scratch struct {
 	// solver (the old double-compress). Keyed by the compressor value.
 	empty    []byte
 	emptyFor solver.Compressor
+
+	// tf caches preconditioner transform instances by wire ID on the
+	// decompress side, so a container full of same-transform chunks builds
+	// each inverse transform (and its predictor tables) once.
+	tf map[precond.TransformID]precond.Transform
+	// tchunk holds the inverse-transform output (decompress).
+	tchunk []byte
+}
+
+// transform returns the cached inverse-transform instance for id, building
+// it on first use.
+func (s *scratch) transform(id precond.TransformID) (precond.Transform, error) {
+	if t, ok := s.tf[id]; ok {
+		return t, nil
+	}
+	t, err := precond.New(id)
+	if err != nil {
+		return nil, err
+	}
+	if s.tf == nil {
+		s.tf = map[precond.TransformID]precond.Transform{}
+	}
+	s.tf[id] = t
+	return t, nil
 }
 
 // compressedEmpty returns sv's compressed form of empty input, computing it
@@ -342,6 +402,20 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 	if err != nil {
 		return nil, stats, err
 	}
+	// The preconditioner layer: only built when Options.Precond departs from
+	// the classic fixed chain, which also switches the container to v3 so
+	// every chunk record can carry its transform ID.
+	var ps *precondState
+	magic := magicV2
+	if opts.Precond.enabled() {
+		sel, err := precond.NewSelector(opts.Precond.Selection, opts.Precond.Transform,
+			opts.Precond.Candidates, opts.Precond.SampleElems)
+		if err != nil {
+			return nil, stats, err
+		}
+		ps = &precondState{sel: sel, sv: sv, opts: opts, lay: lay}
+		magic = magicV3
+	}
 	m := tmet.Load()
 	// The call span nests under a container span (pipeline shard, stream
 	// segment) when the context carries one; each chunk gets a child span
@@ -350,7 +424,7 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 		Attr("raw_bytes", int64(len(data)))
 
 	out := make([]byte, 0, len(data)/2+256)
-	out = append(out, magicV2...)
+	out = append(out, magic...)
 	out = append(out, byte(opts.Linearization), byte(opts.Mapping), byte(opts.IndexMode), boolByte(opts.DisableISOBAR))
 	out = append(out, byte(opts.Precision))
 	name := opts.solverName()
@@ -380,16 +454,30 @@ func (c *Codec) CompressWithStatsCtx(ctx context.Context, data []byte, opts Opti
 		chunkSpan := cs.Child("core.chunk").
 			Attr("chunk", int64(stats.Chunks)).
 			Attr("bytes", int64(len(chunk)))
-		enc, ci, err := compressChunkSafe(chunk, sv, opts, lay, prevIndex, &c.sc, m, chunkSpan)
+		enc, ci, err := compressChunkSafe(chunk, sv, opts, lay, prevIndex, &c.sc, ps, m, chunkSpan)
 		if err != nil {
 			// Degraded mode: the solver faulted on this chunk (error or
 			// panic). Store the chunk raw so the container stays complete
 			// and decompressible; the fault is visible via DegradedChunks.
 			// The compress-side prevIndex is left untouched, matching the
 			// decode side where a raw record passes the live index through.
+			// Raw records never carry a transform ID — the payload is the
+			// original, untransformed chunk in every container version.
 			enc, ci = appendRawChunkRecord(&c.sc, chunk), chunkInfo{index: prevIndex}
 			stats.DegradedChunks++
 			chunkSpan.Anomaly(trace.KindDegradedChunk, err.Error())
+		} else if ps != nil {
+			name := precond.Name(ci.tid)
+			if stats.TransformChunks == nil {
+				stats.TransformChunks = map[string]int{}
+			}
+			stats.TransformChunks[name]++
+			chunkSpan.AttrStr("transform", name)
+			if m != nil {
+				if sel := m.precondSelected[ci.tid]; sel != nil {
+					sel.Add(1)
+				}
+			}
 		}
 		prevIndex = ci.index
 		var sz [4]byte
@@ -459,6 +547,9 @@ type chunkInfo struct {
 	precSecs    float64
 	solverSecs  float64
 	solverInput int
+	// tid is the preconditioner transform the chunk was written with
+	// (meaningful only when the preconditioner layer is enabled).
+	tid precond.TransformID
 }
 
 // compressChunk encodes one chunk into a record that aliases sc.enc; the
@@ -468,7 +559,11 @@ type chunkInfo struct {
 // chunk's trace span (inert when tracing is off); stage child spans hang off
 // it. Stage spans on error paths are deliberately never ended — an un-ended
 // span is dropped, and the chunk-level degraded anomaly carries the fault.
-func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics, cs trace.Span) ([]byte, chunkInfo, error) {
+// tid is the preconditioner transform ID to record after the flag byte (v3
+// containers); -1 writes the v1/v2 record layout with no transform byte.
+// chunk must already be transformed; its length equals the original because
+// transforms are length-preserving.
+func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics, cs trace.Span, tid int) ([]byte, chunkInfo, error) {
 	var ci chunkInfo
 	precStart := time.Now()
 	stageSpan := cs.Child("core.stage.bytesplit")
@@ -629,6 +724,10 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunk)))
 	enc = append(enc, u32[:]...)
 	enc = append(enc, boolByte(len(indexBlob) > 0))
+	if tid >= 0 {
+		enc = append(enc, byte(tid))
+		ci.tid = precond.TransformID(tid)
+	}
 	if len(indexBlob) > 0 {
 		binary.LittleEndian.PutUint32(u32[:], uint32(len(indexBlob)))
 		enc = append(enc, u32[:]...)
@@ -690,10 +789,10 @@ func DecompressCtx(ctx context.Context, data []byte) ([]byte, error) {
 	return c.DecompressCtx(ctx, data)
 }
 
-// DecompressWithStats decompresses and reports read-side stage timing. Both
-// container versions are accepted; v2 inputs have their header and per-chunk
-// CRC32C checksums verified, and any mismatch fails the decode with an error
-// wrapping both ErrCorrupt and ErrChecksum.
+// DecompressWithStats decompresses and reports read-side stage timing. All
+// container versions are accepted; v2+ inputs have their header and
+// per-chunk CRC32C checksums verified, and any mismatch fails the decode
+// with an error wrapping both ErrCorrupt and ErrChecksum.
 func DecompressWithStats(data []byte) ([]byte, DecompStats, error) {
 	var c Codec
 	return c.DecompressWithStats(data)
@@ -746,7 +845,7 @@ func (c *Codec) DecompressWithStatsCtx(ctx context.Context, data []byte) ([]byte
 		}
 		chunkSpan := cs.Child("core.chunk.decode").Attr("chunk", chunkNo)
 		chunkNo++
-		chunk, idx, err := decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &c.sc, m, chunkSpan)
+		chunk, idx, err := decompressChunk(rec, h.version, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &c.sc, m, chunkSpan)
 		if err != nil {
 			chunkSpan.End(err)
 			cs.End(err)
@@ -782,10 +881,13 @@ func DecompressFloat64s(data []byte) ([]float64, error) {
 
 // decompressChunk decodes one chunk record into a buffer that aliases sc;
 // the caller must copy the returned chunk out before the next call reusing
-// the same scratch. m may be nil (telemetry disabled); cs is the chunk's
-// trace span (inert when tracing is off) — stage spans on error paths are
-// dropped un-ended, the caller records the error on the chunk span.
-func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats, sc *scratch, m *coreMetrics, cs trace.Span) ([]byte, *freq.Index, error) {
+// the same scratch. ver is the container version: v3 records carry a
+// preconditioner transform-ID byte after the flag, and the transform's
+// inverse runs after the merge. m may be nil (telemetry disabled); cs is the
+// chunk's trace span (inert when tracing is off) — stage spans on error
+// paths are dropped un-ended, the caller records the error on the chunk
+// span.
+func decompressChunk(rec []byte, ver int, sv solver.Compressor, lin Linearization, mapping IDMapping, lay bytesplit.Layout, prev *freq.Index, ds *DecompStats, sc *scratch, m *coreMetrics, cs trace.Span) ([]byte, *freq.Index, error) {
 	pos := 0
 	readU32 := func() (int, error) {
 		if pos+4 > len(rec) {
@@ -819,6 +921,16 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 				ErrCorrupt, rawLen, len(rec)-pos)
 		}
 		return rec[pos:], prev, nil
+	}
+	// v3 records name the preconditioner transform right after the flag;
+	// earlier versions predate the layer and always used the classic chain.
+	tid := precond.IDChain
+	if ver >= 3 {
+		if pos >= len(rec) {
+			return nil, nil, fmt.Errorf("%w: missing transform ID", ErrCorrupt)
+		}
+		tid = precond.TransformID(rec[pos])
+		pos++
 	}
 	hasIndex := flag == 1
 	idx := prev
@@ -953,6 +1065,18 @@ func decompressChunk(rec []byte, sv solver.Compressor, lin Linearization, mappin
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	sc.chunk = chunk
+	if tid != precond.IDChain {
+		t, err := sc.transform(tid)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		orig, err := t.Inverse(sc.tchunk[:0], chunk, lay.ElemBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: inverse %s: %v", ErrCorrupt, t.Name(), err)
+		}
+		sc.tchunk = orig
+		chunk = orig
+	}
 	d = time.Since(precStart).Seconds()
 	ds.PrecSeconds += d
 	stageSpan.End(nil)

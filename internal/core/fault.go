@@ -7,6 +7,7 @@ import (
 
 	"primacy/internal/bytesplit"
 	"primacy/internal/freq"
+	"primacy/internal/precond"
 	"primacy/internal/solver"
 	"primacy/internal/trace"
 )
@@ -41,16 +42,72 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("core: panic in %s: %v", e.Op, e.Value)
 }
 
-// compressChunkSafe runs compressChunk, converting a panic into a
-// *PanicError so the caller can degrade instead of crashing.
-func compressChunkSafe(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, m *coreMetrics, cs trace.Span) (enc []byte, ci chunkInfo, err error) {
+// precondState carries the per-call preconditioner machinery: the selector
+// (one instance of every candidate transform), the forward-transform output
+// buffer, and a second scratch so APosteriori trial compressions never
+// clobber the live chunk's buffers. Nil when the preconditioner layer is
+// disabled (classic chain, v2 container).
+type precondState struct {
+	sel  *precond.Selector
+	tbuf []byte
+	// trialSC is the scratch used by trial compressions of selection
+	// samples. Kept separate from the Codec scratch: a trial runs before
+	// the chunk's own compressChunk and must not alias its buffers.
+	trialSC scratch
+	sv      solver.Compressor
+	opts    Options
+	lay     bytesplit.Layout
+}
+
+// pick chooses the chunk's transform. The APosteriori trial hook runs the
+// real downstream chain (compressChunk on the transformed sample, fresh
+// index, no telemetry/trace) so the measured size is the genuine record
+// size, not a proxy.
+func (ps *precondState) pick(chunk []byte) (precond.Transform, error) {
+	var trial precond.TrialFunc
+	if ps.sel.Mode() == precond.APosteriori {
+		trial = func(_ precond.Transform, sample []byte) (int, error) {
+			enc, _, err := compressChunk(sample, ps.sv, ps.opts, ps.lay, nil, &ps.trialSC, nil, trace.Span{}, -1)
+			if err != nil {
+				return 0, err
+			}
+			return len(enc), nil
+		}
+	}
+	return ps.sel.Pick(chunk, ps.lay.ElemBytes, trial)
+}
+
+// compressChunkSafe runs the preconditioner selection, forward transform,
+// and compressChunk, converting a panic anywhere in that path into a
+// *PanicError so the caller can degrade instead of crashing. ps may be nil
+// (preconditioner disabled): the chunk then takes the classic chain and the
+// record carries no transform byte (v1/v2 layout).
+func compressChunkSafe(chunk []byte, sv solver.Compressor, opts Options, lay bytesplit.Layout, prev *freq.Index, sc *scratch, ps *precondState, m *coreMetrics, cs trace.Span) (enc []byte, ci chunkInfo, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			enc, ci = nil, chunkInfo{}
 			err = &PanicError{Op: "compress chunk", Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return compressChunk(chunk, sv, opts, lay, prev, sc, m, cs)
+	tid := -1
+	payload := chunk
+	if ps != nil {
+		t, err := ps.pick(chunk)
+		if err != nil {
+			return nil, chunkInfo{}, err
+		}
+		tid = int(t.ID())
+		// The chain transform is the identity — skip the copy.
+		if t.ID() != precond.IDChain {
+			buf, err := t.Forward(ps.tbuf[:0], chunk, lay.ElemBytes)
+			if err != nil {
+				return nil, chunkInfo{}, err
+			}
+			ps.tbuf = buf
+			payload = buf
+		}
+	}
+	return compressChunk(payload, sv, opts, lay, prev, sc, m, cs, tid)
 }
 
 // appendRawChunkRecord encodes chunk as a degraded raw-passthrough record

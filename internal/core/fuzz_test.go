@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"primacy/internal/precond"
 )
 
 // FuzzDecompress drives the container decoder with adversarial inputs: it
@@ -28,6 +30,23 @@ func FuzzDecompress(f *testing.F) {
 	// large claim and a non-element-aligned one.
 	f.Add(v1ChunkWithRawLen(0xFFFFFFFF))
 	f.Add(v1ChunkWithRawLen(maxChunkRaw - 3))
+	// v3 seeds: a valid preconditioned container (per-chunk transform IDs),
+	// one with the tid byte mutated to an unregistered transform, and a
+	// truncated record that ends right at the transform-ID byte.
+	v3, err := CompressFloat64s(syntheticDoubles(500, 98), Options{
+		ChunkBytes: 1024,
+		Precond:    PrecondOptions{Selection: precond.APriori},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3)
+	badTID := append([]byte(nil), v3...)
+	if h, err := parseHeader(badTID); err == nil {
+		badTID[h.end+8+4+1] = 0x7F
+	}
+	f.Add(badTID)
+	f.Add(v3[:len(v3)/3])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := Decompress(data)
 		if err != nil {

@@ -21,6 +21,9 @@ type ChunkReader struct {
 	lin     Linearization
 	mapping IDMapping
 	lay     bytesplit.Layout
+	// version is the container format version; v3 chunk records carry a
+	// preconditioner transform-ID byte the decoder must honor.
+	version int
 	// offsets[i] is the byte range of chunk record i within data.
 	offsets [][2]int
 	// rawOffsets[i] is the starting element-byte offset of chunk i.
@@ -40,7 +43,7 @@ func NewChunkReader(data []byte) (*ChunkReader, error) {
 	if !h.crcOK {
 		return nil, fmt.Errorf("%w: header: %w", ErrCorrupt, ErrChecksum)
 	}
-	r := &ChunkReader{data: data, lin: h.lin, mapping: h.mapping, lay: h.lay}
+	r := &ChunkReader{data: data, lin: h.lin, mapping: h.mapping, lay: h.lay, version: h.version}
 	r.sv, err = solver.Get(h.solverName)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -53,7 +56,7 @@ func NewChunkReader(data []byte) (*ChunkReader, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(rec) < rawChunkRecLen || (rec[4] != rawChunkFlag && len(rec) < minChunkRecLen) {
+		if len(rec) < rawChunkRecLen || (rec[4] != rawChunkFlag && len(rec) < h.minRecLen()) {
 			return nil, fmt.Errorf("%w: chunk record %d bytes", ErrCorrupt, len(rec))
 		}
 		rawLen := int(binary.LittleEndian.Uint32(rec))
@@ -110,7 +113,7 @@ func (r *ChunkReader) DecodeChunk(i int) ([]byte, error) {
 	// Fresh scratch per call: the returned chunk aliases it, and DecodeChunk
 	// hands ownership to the caller.
 	cs := ttrc.Load().Start("core.chunk.decode").Attr("chunk", int64(i))
-	chunk, _, err := decompressChunk(rec, r.sv, r.lin, r.mapping, r.lay, nil, &ds, new(scratch), tmet.Load(), cs)
+	chunk, _, err := decompressChunk(rec, r.version, r.sv, r.lin, r.mapping, r.lay, nil, &ds, new(scratch), tmet.Load(), cs)
 	cs.End(err)
 	return chunk, err
 }
@@ -121,7 +124,11 @@ func (r *ChunkReader) DecodeFloat64Range(first, count int) ([]float64, error) {
 	if r.lay.ElemBytes != bytesplit.Float64Layout.ElemBytes {
 		return nil, fmt.Errorf("core: container holds %d-byte elements, not float64", r.lay.ElemBytes)
 	}
-	if first < 0 || count < 0 || (first+count)*8 > r.totalRaw {
+	// Overflow-safe bounds check: first and count are caller-controlled, and
+	// (first+count)*8 can wrap past a positive totalRaw for huge values —
+	// compare against the element count without multiplying.
+	nElems := r.totalRaw / 8
+	if first < 0 || count < 0 || first > nElems || count > nElems-first {
 		return nil, fmt.Errorf("core: element range [%d,%d) out of bounds", first, first+count)
 	}
 	startByte, endByte := first*8, (first+count)*8

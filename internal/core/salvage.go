@@ -56,7 +56,7 @@ func DecompressSalvage(data []byte) ([]byte, *CorruptionReport, error) {
 		if err == nil {
 			var chunk []byte
 			var idx *freq.Index
-			chunk, idx, err = decompressChunk(rec, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &sc, m, trace.Span{})
+			chunk, idx, err = decompressChunk(rec, h.version, sv, h.lin, h.mapping, h.lay, prevIndex, &ds, &sc, m, trace.Span{})
 			if err == nil {
 				prevIndex = idx
 				out = append(out, chunk...)

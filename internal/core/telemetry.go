@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"primacy/internal/precond"
 	"primacy/internal/telemetry"
 )
 
@@ -39,6 +40,10 @@ type coreMetrics struct {
 	decPrecSeconds   *telemetry.Histogram
 	// Salvage accounting: faults recorded while recovering damaged input.
 	salvageFaults *telemetry.Counter
+	// Preconditioner selection accounting: chunks written per transform,
+	// one counter per registered transform (the registry has no labels, so
+	// the transform name is baked into the metric name).
+	precondSelected map[precond.TransformID]*telemetry.Counter
 }
 
 var tmet atomic.Pointer[coreMetrics]
@@ -50,7 +55,14 @@ func EnableTelemetry(r *telemetry.Registry) {
 		tmet.Store(nil)
 		return
 	}
+	precondSel := map[precond.TransformID]*telemetry.Counter{}
+	for _, id := range precond.IDs() {
+		name := precond.Name(id)
+		precondSel[id] = r.Counter("primacy_core_precond_"+name+"_chunks_total",
+			"Chunks written with the "+name+" preconditioner transform.")
+	}
 	tmet.Store(&coreMetrics{
+		precondSelected: precondSel,
 		chunks:           r.Counter("primacy_core_chunks_total", "Chunks compressed."),
 		degraded:         r.Counter("primacy_core_degraded_chunks_total", "Chunks stored raw after a solver fault."),
 		rawBytes:         r.Counter("primacy_core_raw_bytes_total", "Input bytes compressed."),

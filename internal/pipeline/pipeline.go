@@ -511,7 +511,7 @@ func nextLenientFrame(data []byte, from, frameHdr int) int {
 		}
 		shard := data[pos+frameHdr : pos+frameHdr+l]
 		switch string(shard[:4]) {
-		case "PRM1", "PRM2":
+		case "PRM1", "PRM2", "PRM3":
 		default:
 			continue
 		}

@@ -1,0 +1,173 @@
+package precond
+
+import "fmt"
+
+// SelectionMode picks how the per-chunk transform is chosen, mirroring the
+// mappraiser preconditioner enum (BJ / APRIORI / APOSTERIORI).
+type SelectionMode uint8
+
+const (
+	// Fixed always applies the configured transform (no per-chunk choice).
+	Fixed SelectionMode = iota
+	// APriori ranks candidates by their cheap sampled cost estimate —
+	// ISOBAR-style classification, no solver involved.
+	APriori
+	// APosteriori trial-compresses a sample of the chunk through the full
+	// chain once per candidate and keeps the winner — Pcodec-style
+	// per-chunk mode detection. Most accurate, costs one extra solver pass
+	// per candidate per chunk (on the sample only).
+	APosteriori
+)
+
+// String names the mode for stats, flags, and error messages.
+func (m SelectionMode) String() string {
+	switch m {
+	case Fixed:
+		return "fixed"
+	case APriori:
+		return "apriori"
+	case APosteriori:
+		return "aposteriori"
+	default:
+		return fmt.Sprintf("selection(%d)", uint8(m))
+	}
+}
+
+// ParseSelectionMode resolves a mode name ("fixed", "apriori",
+// "aposteriori").
+func ParseSelectionMode(s string) (SelectionMode, error) {
+	switch s {
+	case "fixed", "":
+		return Fixed, nil
+	case "apriori":
+		return APriori, nil
+	case "aposteriori":
+		return APosteriori, nil
+	default:
+		return Fixed, fmt.Errorf("precond: unknown selection mode %q", s)
+	}
+}
+
+// DefaultSampleElems is the per-chunk selection sample size (elements). At
+// float64 width that is 256 KiB of a 3 MB chunk — large enough for stable
+// entropy and trial-compression estimates, small enough that an APosteriori
+// trial costs a fraction of the real compression.
+const DefaultSampleElems = 32768
+
+// TrialFunc trial-compresses an already-transformed, element-aligned sample
+// and reports the encoded size in bytes. The codec supplies this hook so
+// APosteriori selection measures the genuine downstream chain (byte split,
+// ID mapping, ISOBAR, solver) rather than a proxy.
+type TrialFunc func(t Transform, transformedSample []byte) (int, error)
+
+// Selector picks the transform for each chunk. It owns one instance of every
+// candidate (scratch and predictor state reused across chunks), so like the
+// codec it is not safe for concurrent use — one Selector per worker.
+type Selector struct {
+	mode        SelectionMode
+	cands       []Transform
+	sampleElems int
+	scratch     []byte
+}
+
+// NewSelector builds a selector over the candidate transforms. An empty
+// candidate list defaults to the configured fixed transform for Fixed mode
+// and to every registered transform for the auto-selecting modes.
+// sampleElems caps the per-chunk selection sample (DefaultSampleElems when
+// <= 0).
+func NewSelector(mode SelectionMode, fixed TransformID, candidates []TransformID, sampleElems int) (*Selector, error) {
+	switch mode {
+	case Fixed, APriori, APosteriori:
+	default:
+		return nil, fmt.Errorf("precond: unknown selection mode %d", mode)
+	}
+	ids := candidates
+	if mode == Fixed {
+		if len(candidates) != 0 {
+			return nil, fmt.Errorf("precond: Fixed mode takes no candidate list")
+		}
+		ids = []TransformID{fixed}
+	} else if len(ids) == 0 {
+		ids = IDs()
+	}
+	s := &Selector{mode: mode, sampleElems: sampleElems}
+	if s.sampleElems <= 0 {
+		s.sampleElems = DefaultSampleElems
+	}
+	seen := map[TransformID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("precond: duplicate candidate %d", id)
+		}
+		seen[id] = true
+		t, err := New(id)
+		if err != nil {
+			return nil, err
+		}
+		s.cands = append(s.cands, t)
+	}
+	return s, nil
+}
+
+// Mode reports the configured selection mode.
+func (s *Selector) Mode() SelectionMode { return s.mode }
+
+// Candidates exposes the candidate transforms (first is the Fixed choice).
+func (s *Selector) Candidates() []Transform { return s.cands }
+
+// Pick chooses the transform for one chunk. trial is only invoked in
+// APosteriori mode and may be nil otherwise. A candidate whose estimate or
+// trial fails is skipped rather than failing the chunk; if every candidate
+// fails, the first candidate is returned so the caller's own error path
+// (degraded mode) reports the real fault.
+func (s *Selector) Pick(chunk []byte, elemBytes int, trial TrialFunc) (Transform, error) {
+	if len(s.cands) == 1 || s.mode == Fixed {
+		return s.cands[0], nil
+	}
+	sample := s.sample(chunk, elemBytes)
+	best, bestCost := -1, 0.0
+	for i, t := range s.cands {
+		var cost float64
+		switch s.mode {
+		case APriori:
+			c, err := t.CostEstimate(sample, elemBytes)
+			if err != nil {
+				continue
+			}
+			cost = c
+		case APosteriori:
+			if trial == nil {
+				return nil, fmt.Errorf("precond: APosteriori selection needs a trial function")
+			}
+			res, err := t.Forward(s.scratch[:0], sample, elemBytes)
+			if err != nil {
+				continue
+			}
+			s.scratch = res
+			n, err := trial(t, res)
+			if err != nil {
+				continue
+			}
+			cost = float64(n)
+		}
+		// Strict less-than: ties keep the earlier candidate, so the chain
+		// (candidate 0 by convention) wins when a transform buys nothing.
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		return s.cands[0], nil
+	}
+	return s.cands[best], nil
+}
+
+// sample returns an element-aligned prefix of chunk capped at the selection
+// sample size.
+func (s *Selector) sample(chunk []byte, elemBytes int) []byte {
+	max := s.sampleElems * elemBytes
+	if len(chunk) <= max {
+		return chunk
+	}
+	return chunk[:max]
+}

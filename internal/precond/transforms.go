@@ -1,0 +1,234 @@
+package precond
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// grow extends dst by n bytes, reallocating only when capacity runs out; the
+// new bytes are scratch the caller fully overwrites.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n)
+	copy(out, dst)
+	return out
+}
+
+func checkShape(src []byte, elemBytes int) error {
+	if elemBytes < 2 || elemBytes > 16 {
+		return fmt.Errorf("precond: element width %d out of range [2,16]", elemBytes)
+	}
+	if len(src)%elemBytes != 0 {
+		return fmt.Errorf("precond: %d bytes not a multiple of %d-byte elements", len(src), elemBytes)
+	}
+	return nil
+}
+
+// EstimateFraction estimates the compressed fraction of a row-major
+// N×elemBytes byte matrix from per-column byte entropy: each column's
+// entropy/8 bounds what a byte-level entropy coder can do, and the mean over
+// columns approximates the whole-matrix ratio. It is the shared a-priori
+// cost signal — the same sampling idea as ISOBAR's column classifier,
+// collapsed to one number.
+func EstimateFraction(sample []byte, elemBytes int) (float64, error) {
+	if err := checkShape(sample, elemBytes); err != nil {
+		return 0, err
+	}
+	n := len(sample) / elemBytes
+	if n == 0 {
+		return 1, nil
+	}
+	total := 0.0
+	for c := 0; c < elemBytes; c++ {
+		var hist [256]int
+		for r := 0; r < n; r++ {
+			hist[sample[r*elemBytes+c]]++
+		}
+		ent := 0.0
+		for _, h := range hist {
+			if h == 0 {
+				continue
+			}
+			p := float64(h) / float64(n)
+			ent -= p * math.Log2(p)
+		}
+		total += ent / 8
+	}
+	return total / float64(elemBytes), nil
+}
+
+// chainTransform is the identity pre-pass: the classic
+// bytesplit→freq-map→ISOBAR chain sees the chunk untouched.
+type chainTransform struct{}
+
+func (chainTransform) ID() TransformID { return IDChain }
+func (chainTransform) Name() string    { return "chain" }
+
+func (chainTransform) Forward(dst, src []byte, elemBytes int) ([]byte, error) {
+	if err := checkShape(src, elemBytes); err != nil {
+		return nil, err
+	}
+	return append(dst, src...), nil
+}
+
+func (chainTransform) Inverse(dst, src []byte, elemBytes int) ([]byte, error) {
+	if err := checkShape(src, elemBytes); err != nil {
+		return nil, err
+	}
+	return append(dst, src...), nil
+}
+
+func (chainTransform) CostEstimate(sample []byte, elemBytes int) (float64, error) {
+	return EstimateFraction(sample, elemBytes)
+}
+
+// predictXORTableBits sizes the FCM/DFCM hash tables. Smaller than FPC's
+// default 16: the tables are zeroed per chunk to keep records independently
+// decodable, so the reset cost must stay well under the chunk's solver time.
+const predictXORTableBits = 12
+
+// predictXOR is the FPC-lifted prediction-XOR transform: each element is
+// read big-endian, XORed with the better of the FCM and DFCM predictions,
+// and the residual replaces the original bytes. Unlike FPC proper there is
+// no per-value choice bit in the output — the predictor choice is made
+// adaptively from the previous element's residuals, which the decoder
+// replays exactly — so the transform is length-preserving and the classic
+// chain runs unchanged on the residual bytes. Well-predicted streams reach
+// the byte split as near-zero residuals: the high-order bytes collapse onto
+// a handful of IDs and the mantissa columns drop in entropy.
+type predictXOR struct {
+	fcm      []uint64
+	dfcm     []uint64
+	fcmHash  uint64
+	dfcmHash uint64
+	last     uint64
+	// useDFCM is the adaptive predictor choice: whichever predictor had the
+	// smaller residual on the previous element predicts the next one. The
+	// decoder reconstructs values in order, so it replays the same choices.
+	useDFCM bool
+	// hashShift targets the exponent-carrying high bytes of the current
+	// element width (48 for float64, matching FPC; scaled down for float32).
+	hashShift  uint
+	deltaShift uint
+	// est recycles the CostEstimate forward-pass scratch across calls.
+	est []byte
+}
+
+func newPredictXOR() *predictXOR {
+	size := 1 << predictXORTableBits
+	return &predictXOR{fcm: make([]uint64, size), dfcm: make([]uint64, size)}
+}
+
+func (p *predictXOR) ID() TransformID { return IDPredictXOR }
+func (p *predictXOR) Name() string    { return "predictxor" }
+
+// reset clears predictor state so every chunk transforms independently —
+// required for random access and salvage, where chunks decode out of order.
+func (p *predictXOR) reset(elemBytes int) {
+	clear(p.fcm)
+	clear(p.dfcm)
+	p.fcmHash, p.dfcmHash, p.last, p.useDFCM = 0, 0, 0, false
+	// FPC hashes the high 16 (FCM) / 24 (DFCM) bits of 64-bit values; keep
+	// the same high-byte targeting at other widths.
+	p.hashShift = uint(8 * (elemBytes - 2))
+	p.deltaShift = uint(8 * (elemBytes - 3))
+	if elemBytes < 3 {
+		p.deltaShift = 0
+	}
+}
+
+// step advances the shared compress/decompress state machine with the true
+// value v and both predictors' residuals; the next element's prediction and
+// predictor choice derive from this state.
+func (p *predictXOR) step(v, xf, xd uint64) {
+	p.useDFCM = bits.LeadingZeros64(xd) > bits.LeadingZeros64(xf)
+	mask := uint64(len(p.fcm) - 1)
+	p.fcm[p.fcmHash] = v
+	p.fcmHash = ((p.fcmHash << 6) ^ (v >> p.hashShift)) & mask
+	delta := v - p.last
+	p.dfcm[p.dfcmHash] = delta
+	p.dfcmHash = ((p.dfcmHash << 2) ^ (delta >> p.deltaShift)) & mask
+	p.last = v
+}
+
+func (p *predictXOR) Forward(dst, src []byte, elemBytes int) ([]byte, error) {
+	if err := checkShape(src, elemBytes); err != nil {
+		return nil, err
+	}
+	p.reset(elemBytes)
+	base := len(dst)
+	out := grow(dst, len(src))
+	seg := out[base:]
+	n := len(src) / elemBytes
+	for i := 0; i < n; i++ {
+		v := loadBE(src[i*elemBytes:], elemBytes)
+		fcmPred := p.fcm[p.fcmHash]
+		dfcmPred := p.dfcm[p.dfcmHash] + p.last
+		xf, xd := v^fcmPred, v^dfcmPred
+		if p.useDFCM {
+			storeBE(seg[i*elemBytes:], xd, elemBytes)
+		} else {
+			storeBE(seg[i*elemBytes:], xf, elemBytes)
+		}
+		p.step(v, xf, xd)
+	}
+	return out, nil
+}
+
+func (p *predictXOR) Inverse(dst, src []byte, elemBytes int) ([]byte, error) {
+	if err := checkShape(src, elemBytes); err != nil {
+		return nil, err
+	}
+	p.reset(elemBytes)
+	base := len(dst)
+	out := grow(dst, len(src))
+	seg := out[base:]
+	n := len(src) / elemBytes
+	mask := uint64(1)<<(8*uint(elemBytes)) - 1
+	if elemBytes == 8 {
+		mask = ^uint64(0)
+	}
+	for i := 0; i < n; i++ {
+		res := loadBE(src[i*elemBytes:], elemBytes)
+		fcmPred := p.fcm[p.fcmHash]
+		dfcmPred := p.dfcm[p.dfcmHash] + p.last
+		var v uint64
+		if p.useDFCM {
+			v = (res ^ dfcmPred) & mask
+		} else {
+			v = (res ^ fcmPred) & mask
+		}
+		p.step(v, v^fcmPred, v^dfcmPred)
+		storeBE(seg[i*elemBytes:], v, elemBytes)
+	}
+	return out, nil
+}
+
+func (p *predictXOR) CostEstimate(sample []byte, elemBytes int) (float64, error) {
+	res, err := p.Forward(p.est[:0], sample, elemBytes)
+	if err != nil {
+		return 0, err
+	}
+	p.est = res
+	return EstimateFraction(res, elemBytes)
+}
+
+// loadBE reads w big-endian bytes into the low bits of a uint64.
+func loadBE(b []byte, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// storeBE writes the low w bytes of v big-endian.
+func storeBE(b []byte, v uint64, w int) {
+	for i := w - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

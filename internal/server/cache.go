@@ -58,6 +58,11 @@ func newResultCache(capBytes int64) *resultCache {
 // entry is removed so later requests retry, and followers whose context is
 // still live retry themselves rather than inheriting a leader's
 // deadline/cancel error.
+//
+// The returned slice is always the caller's to mutate: whenever the result
+// is (or may later be) retained in the cache, Do hands out a defensive copy,
+// never the retained backing array. Returning the cached slice directly let
+// one handler's post-processing corrupt every later hit for the same key.
 func (c *resultCache) Do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, CacheOutcome, error) {
 	if c == nil {
 		out, err := fn()
@@ -71,7 +76,7 @@ func (c *resultCache) Do(ctx context.Context, key string, fn func() ([]byte, err
 		if e, ok := c.m[key]; ok {
 			select {
 			case <-e.done: // completed, stored
-				out := e.out
+				out := append([]byte(nil), e.out...)
 				c.ll.MoveToFront(e.elem)
 				c.mu.Unlock()
 				return out, CacheHit, nil
@@ -80,7 +85,10 @@ func (c *resultCache) Do(ctx context.Context, key string, fn func() ([]byte, err
 				select {
 				case <-e.done:
 					if e.err == nil {
-						return e.out, CacheShared, nil
+						// e.out may be retained; every follower gets its
+						// own copy (they all alias the leader's slice
+						// otherwise).
+						return append([]byte(nil), e.out...), CacheShared, nil
 					}
 					// The leader failed. Its entry is already removed;
 					// retry as (potential) leader so a follower is never
@@ -97,10 +105,14 @@ func (c *resultCache) Do(ctx context.Context, key string, fn func() ([]byte, err
 
 		out, err := fn()
 		c.mu.Lock()
-		e.out, e.err = out, err
+		e.err = err
 		if err != nil || c.capBytes <= 0 || int64(len(out)+len(key)) > c.capBytes {
+			e.out = out
 			delete(c.m, key)
 		} else {
+			// The cache retains its own copy, so the leader's slice — and
+			// each follower's copy of e.out — stays the caller's to mutate.
+			e.out = append([]byte(nil), out...)
 			e.elem = c.ll.PushFront(e)
 			c.size += int64(len(out) + len(key))
 			for c.size > c.capBytes {

@@ -15,6 +15,7 @@ import (
 	"primacy/internal/core"
 	"primacy/internal/fairshare"
 	"primacy/internal/pipeline"
+	"primacy/internal/precond"
 	"primacy/internal/solver"
 	"primacy/internal/stream"
 )
@@ -276,7 +277,8 @@ func (s *Server) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
-// codecOptions resolves per-request codec options (?solver= override).
+// codecOptions resolves per-request codec options (?solver= and ?precond=
+// overrides).
 func (s *Server) codecOptions(r *http.Request) (core.Options, error) {
 	opts := core.Options{Solver: s.cfg.Solver, ChunkBytes: s.cfg.ChunkBytes}
 	if sv := r.URL.Query().Get("solver"); sv != "" {
@@ -286,6 +288,13 @@ func (s *Server) codecOptions(r *http.Request) (core.Options, error) {
 			}
 		}
 		opts.Solver = sv
+	}
+	if pc := r.URL.Query().Get("precond"); pc != "" {
+		mode, err := precond.ParseSelectionMode(pc)
+		if err != nil {
+			return opts, badRequest(fmt.Sprintf("unknown precond mode %q", pc), nil)
+		}
+		opts.Precond = core.PrecondOptions{Selection: mode}
 	}
 	return opts, nil
 }
@@ -303,7 +312,8 @@ func (s *Server) admit(req *request, weight int64) (func(), error) {
 // containers, so the cache key is free for data the codec will checksum
 // anyway.
 func cacheKey(op string, opts core.Options, workers int, body []byte) string {
-	return fmt.Sprintf("%s:%s:%d:%d:%08x:%d", op, opts.Solver, opts.ChunkBytes, workers, checksum.Sum(body), len(body))
+	return fmt.Sprintf("%s:%s:%d:%d:%d:%d:%08x:%d", op, opts.Solver, opts.ChunkBytes,
+		opts.Precond.Selection, opts.Precond.Transform, workers, checksum.Sum(body), len(body))
 }
 
 func (s *Server) opCompress(req *request) (*response, error) {

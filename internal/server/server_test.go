@@ -123,6 +123,54 @@ func TestPipelineWorkersRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCompressPrecondParam: ?precond= selects the per-chunk preconditioner,
+// producing a v3 container that still round-trips, the cache key must
+// separate preconditioned results from plain ones for the same body, and the
+// per-transform selection counters must reach the service's registry.
+func TestCompressPrecondParam(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	core.EnableTelemetry(reg)
+	defer core.EnableTelemetry(nil)
+	_, ts := newTestServer(t, Config{Metrics: reg})
+	raw := testData(20_000, 7)
+	resp, plain := post(t, ts.URL+"/v1/compress", raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, plain)
+	}
+	if string(plain[:4]) != "PRM2" {
+		t.Fatalf("plain compress magic %q, want PRM2", plain[:4])
+	}
+	resp, enc := post(t, ts.URL+"/v1/compress?precond=aposteriori", raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("precond compress: %d %s", resp.StatusCode, enc)
+	}
+	if string(enc[:4]) != "PRM3" {
+		t.Fatalf("precond compress magic %q, want PRM3", enc[:4])
+	}
+	// Same body, different precond mode: must not be served from the plain
+	// entry's cache slot.
+	if got := resp.Header.Get(HeaderCache); got != "miss" {
+		t.Errorf("precond compress cache header = %q, want miss", got)
+	}
+	resp, dec := post(t, ts.URL+"/v1/decompress", enc, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, dec)
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatal("precond round trip mismatch")
+	}
+	resp, body := post(t, ts.URL+"/v1/compress?precond=nope", raw, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad precond mode: %d (%s), want 400", resp.StatusCode, body)
+	}
+	snap := reg.Snapshot()
+	chain, _ := snap.Counter("primacy_core_precond_chain_chunks_total")
+	pxor, _ := snap.Counter("primacy_core_precond_predictxor_chunks_total")
+	if chain+pxor == 0 {
+		t.Error("precond selection counters never incremented in the service registry")
+	}
+}
+
 func TestBadInputsGetExplicit4xx(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, tc := range []struct {
@@ -231,6 +279,84 @@ func TestCacheEvictionStaysBounded(t *testing.T) {
 	}
 	if c.Len() == 0 || c.Len() > 10 {
 		t.Fatalf("cache retained %d entries, want a bounded handful", c.Len())
+	}
+}
+
+func TestCacheResultsAreMutationSafe(t *testing.T) {
+	c := newResultCache(1 << 20)
+	leaderOut, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		return []byte("pristine"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leader scribbling over its returned slice must not reach the
+	// retained copy — handlers own their response buffers.
+	for i := range leaderOut {
+		leaderOut[i] = 'X'
+	}
+	hitOut, outcome, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		t.Fatal("hit path recomputed")
+		return nil, nil
+	})
+	if err != nil || outcome != CacheHit {
+		t.Fatalf("outcome = %v, err = %v", outcome, err)
+	}
+	if string(hitOut) != "pristine" {
+		t.Fatalf("retained result corrupted by leader mutation: %q", hitOut)
+	}
+	// A hit mutating its copy must not corrupt the next hit either.
+	for i := range hitOut {
+		hitOut[i] = 'Y'
+	}
+	again, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { return nil, nil })
+	if err != nil || string(again) != "pristine" {
+		t.Fatalf("retained result corrupted by hit mutation: %q (err %v)", again, err)
+	}
+}
+
+func TestCacheSharedResultsAreMutationSafe(t *testing.T) {
+	// Retention disabled: followers share the leader's e.out, and each must
+	// still get an independent copy.
+	c := newResultCache(0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderOut []byte
+	go func() {
+		defer wg.Done()
+		leaderOut, _, _ = c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("shared"), nil
+		})
+	}()
+	<-started
+	const followers = 3
+	outs := make([][]byte, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], _, _ = c.Do(context.Background(), "k", func() ([]byte, error) {
+				return []byte("recomputed"), nil
+			})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let followers reach the wait
+	close(release)
+	wg.Wait()
+	for i, out := range outs {
+		if string(out) == "recomputed" {
+			continue // follower raced past the in-flight entry; fine
+		}
+		for j := range out {
+			out[j] = byte('0' + i)
+		}
+	}
+	if string(leaderOut) != "shared" {
+		t.Fatalf("leader result corrupted by follower mutation: %q", leaderOut)
 	}
 }
 

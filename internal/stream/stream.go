@@ -624,7 +624,7 @@ func nextContainerMagic(buf []byte, from int) int {
 	if from > len(buf) {
 		from = len(buf)
 	}
-	for _, m := range []string{"PRM2", "PRM1"} {
+	for _, m := range []string{"PRM3", "PRM2", "PRM1"} {
 		if i := bytes.Index(buf[from:], []byte(m)); i >= 0 {
 			cand := from + i
 			if best < 0 || cand < best {

@@ -33,6 +33,7 @@ import (
 	"primacy/internal/hpcsim"
 	"primacy/internal/model"
 	"primacy/internal/pipeline"
+	"primacy/internal/precond"
 	"primacy/internal/retry"
 	"primacy/internal/stream"
 	"primacy/internal/telemetry"
@@ -68,6 +69,36 @@ const (
 	IndexPerChunk    = core.IndexPerChunk
 	IndexReuse       = core.IndexReuse
 )
+
+// PrecondOptions configures per-chunk preconditioner selection (Options'
+// Precond field). Any non-zero configuration switches the writer to the v3
+// container, which records the chosen transform per chunk; the zero value
+// keeps today's fixed chain and the v2 container.
+type PrecondOptions = core.PrecondOptions
+
+// PrecondSelectionMode selects how the preconditioner transform is chosen
+// per chunk: fixed, a-priori (cheap sampled classifier), or a-posteriori
+// (trial compression of a sample per candidate).
+type PrecondSelectionMode = precond.SelectionMode
+
+// PrecondTransformID is the stable wire identifier of a registered
+// preconditioner transform.
+type PrecondTransformID = precond.TransformID
+
+// Preconditioner selection modes and registered transform IDs.
+const (
+	PrecondFixed        = precond.Fixed
+	PrecondAPriori      = precond.APriori
+	PrecondAPosteriori  = precond.APosteriori
+	TransformIDChain    = precond.IDChain
+	TransformPredictXOR = precond.IDPredictXOR
+)
+
+// ParsePrecondMode parses a selection-mode name: "fixed" (or empty),
+// "apriori", "aposteriori".
+func ParsePrecondMode(s string) (PrecondSelectionMode, error) {
+	return precond.ParseSelectionMode(s)
+}
 
 // Codec is a reusable compressor/decompressor that carries its scratch
 // buffers across calls, making repeated per-chunk work allocation-light.
@@ -144,7 +175,7 @@ func Verify(data []byte) (*CorruptionReport, error) {
 		return nil, fmt.Errorf("primacy: %d-byte input is not a PRIMACY artifact", len(data))
 	}
 	switch string(data[:4]) {
-	case "PRM1", "PRM2":
+	case "PRM1", "PRM2", "PRM3":
 		return core.Verify(data)
 	case "PRP1", "PRP2":
 		return pipeline.Verify(data)
