@@ -44,6 +44,9 @@ func run(args []string) int {
 		maxDL     = fs.Duration("max-deadline", 0, "clamp on requested deadlines (0: 2m)")
 		maxBody   = fs.Int64("max-body", 0, "request body cap in bytes (0: 64 MiB)")
 		cacheB    = fs.Int64("cache-bytes", 0, "result cache budget in bytes (0: 64 MiB, negative: disable retention)")
+		dataDir   = fs.String("data-dir", "", "durable archive store directory (empty: archive is in-memory only)")
+		fsync     = fs.Bool("fsync", true, "fsync archive puts before acknowledging (disable only for benchmarks; acknowledged writes may be lost on crash)")
+		compactN  = fs.Int("compact-every", 0, "seal a tenant's journal after this many puts (0: store default, negative: disable auto-compaction)")
 		drainT    = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight requests before cancelling them")
 		quiet     = fs.Bool("quiet", false, "suppress the telemetry dump on exit")
 	)
@@ -76,11 +79,22 @@ func run(args []string) int {
 		MaxDeadline:        *maxDL,
 		MaxBodyBytes:       *maxBody,
 		CacheBytes:         *cacheB,
+		DataDir:            *dataDir,
+		NoFsync:            !*fsync,
+		CompactEvery:       *compactN,
 		Metrics:            metrics,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "primacyd: %v\n", err)
 		return 2
+	}
+	if *dataDir != "" {
+		rec := srv.Recovery()
+		fmt.Fprintf(os.Stderr, "primacyd: durable store at %s (fsync=%v)\n", *dataDir, *fsync)
+		fmt.Fprintln(os.Stderr, rec.Summary())
+		if rec.Dirty() {
+			fmt.Fprintln(os.Stderr, "primacyd: previous shutdown was not clean; recovery repaired the store (see above)")
+		}
 	}
 
 	httpSrv := &http.Server{

@@ -1,0 +1,27 @@
+// Package durable is the crash-consistent backing store behind primacyd's
+// archive API. Every accepted put is appended to a per-tenant write-ahead
+// journal — length-prefixed, CRC32C-framed, fsync'd before the caller is
+// told the write succeeded — and periodically compacted into a sealed
+// archive container (internal/archive) via the temp-file + fsync + atomic
+// rename + directory-fsync protocol. Startup recovery replays the journal,
+// truncates a torn tail record instead of failing, and routes corrupted
+// sealed segments through the archive salvage decoder, so a SIGKILL or
+// power loss at any instruction boundary loses at most writes that were
+// never acknowledged.
+//
+// The package talks to the disk exclusively through the vfs.FS seam so the
+// fault-injection harness (internal/faultinject) can substitute a
+// crash-simulating filesystem and test every crash window deterministically.
+// The aliases below keep vfs out of most callers' import lists.
+package durable
+
+import "primacy/internal/vfs"
+
+// File is the subset of *os.File the store writes through (see vfs.File).
+type File = vfs.File
+
+// FS abstracts the filesystem under the store (see vfs.FS).
+type FS = vfs.FS
+
+// OSFS is the real-disk FS (see vfs.OSFS).
+type OSFS = vfs.OSFS

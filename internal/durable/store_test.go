@@ -1,0 +1,412 @@
+package durable
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testValues(n int, seed float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(seed + float64(i)*0.1)
+	}
+	return out
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = append(buf, journalMagic...)
+	want := []journalRecord{
+		{"pressure", 0, testValues(64, 1)},
+		{"pressure", 1, testValues(64, 2)},
+		{"velocity-x", 7, testValues(3, 3)},
+	}
+	for _, r := range want {
+		buf = appendRecord(buf, r.name, r.step, r.values)
+	}
+	recs, goodLen, torn := replayJournal(buf)
+	if torn != 0 {
+		t.Fatalf("clean journal reported %d torn bytes", torn)
+	}
+	if goodLen != int64(len(buf)) {
+		t.Fatalf("goodLen = %d, want %d", goodLen, len(buf))
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.name != want[i].name || r.step != want[i].step {
+			t.Fatalf("record %d = %s@%d, want %s@%d", i, r.name, r.step, want[i].name, want[i].step)
+		}
+		for j := range r.values {
+			if r.values[j] != want[i].values[j] {
+				t.Fatalf("record %d value %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	full := append([]byte(nil), journalMagic...)
+	full = appendRecord(full, "a", 0, testValues(16, 1))
+	mark := len(full)
+	full = appendRecord(full, "b", 0, testValues(16, 2))
+
+	for cut := mark + 1; cut < len(full); cut += 7 {
+		recs, goodLen, torn := replayJournal(full[:cut])
+		if len(recs) != 1 || recs[0].name != "a" {
+			t.Fatalf("cut %d: replayed %d records", cut, len(recs))
+		}
+		if goodLen != int64(mark) {
+			t.Fatalf("cut %d: goodLen = %d, want %d", cut, goodLen, mark)
+		}
+		if torn != int64(cut-mark) {
+			t.Fatalf("cut %d: torn = %d, want %d", cut, torn, cut-mark)
+		}
+	}
+
+	// A flipped bit in the tail record is also a torn tail, not a panic.
+	dam := append([]byte(nil), full...)
+	dam[mark+12] ^= 0x40
+	recs, goodLen, torn := replayJournal(dam)
+	if len(recs) != 1 || goodLen != int64(mark) || torn == 0 {
+		t.Fatalf("bit flip: recs=%d goodLen=%d torn=%d", len(recs), goodLen, torn)
+	}
+}
+
+func TestJournalBadMagic(t *testing.T) {
+	recs, goodLen, torn := replayJournal([]byte("garbage-not-a-journal"))
+	if len(recs) != 0 || goodLen != 0 || torn != 21 {
+		t.Fatalf("recs=%d goodLen=%d torn=%d", len(recs), goodLen, torn)
+	}
+	recs, goodLen, torn = replayJournal(nil)
+	if len(recs) != 0 || goodLen != 0 || torn != 0 {
+		t.Fatalf("empty: recs=%d goodLen=%d torn=%d", len(recs), goodLen, torn)
+	}
+}
+
+func TestTenantKeyRoundTrip(t *testing.T) {
+	for _, name := range []string{"alpha", "team-a.prod_2", "UPPER", "has space", "sl/ash", "héllo", string([]byte{0, 1})} {
+		key := encodeTenant(name)
+		if filepath.Base(key) != key || key == "." || key == ".." {
+			t.Fatalf("key %q for %q is not a safe path element", key, name)
+		}
+		back, ok := decodeTenant(key)
+		if !ok || back != name {
+			t.Fatalf("round trip %q -> %q -> %q (ok=%v)", name, key, back, ok)
+		}
+	}
+	if _, ok := decodeTenant("random-dir"); ok {
+		t.Fatal("decoded a non-tenant directory name")
+	}
+}
+
+func TestMemoryMode(t *testing.T) {
+	s, rep, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(rep.Tenants) != 0 {
+		t.Fatalf("memory mode recovered %d tenants", len(rep.Tenants))
+	}
+	ctx := context.Background()
+	vals := testValues(32, 1)
+	if err := s.Put(ctx, "a", "rho", 0, vals, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "a", "rho", 0, vals, 0); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate put: %v", err)
+	}
+	if err := s.Put(ctx, "a", "rho", 1, testValues(32, 2), 300); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("over-budget put: %v", err)
+	}
+	got, err := s.Get("a", "rho", 0)
+	if err != nil || len(got) != 32 {
+		t.Fatalf("get: %v (%d values)", err, len(got))
+	}
+	if _, err := s.Get("a", "rho", 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing entry: %v", err)
+	}
+	if _, err := s.Get("nobody", "rho", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing tenant: %v", err)
+	}
+	if rb := s.RawBytes("a"); rb != 32*8 {
+		t.Fatalf("RawBytes = %d", rb)
+	}
+}
+
+func TestSnapshotVersion(t *testing.T) {
+	s, _, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if err := s.Put(ctx, "a", "v", 0, testValues(8, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap1, ver1 := s.Snapshot("a")
+	if len(snap1) != 1 || ver1 == 0 {
+		t.Fatalf("snapshot: %d entries, version %d", len(snap1), ver1)
+	}
+	if err := s.Put(ctx, "a", "v", 1, testValues(8, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap2, ver2 := s.Snapshot("a")
+	if ver2 == ver1 {
+		t.Fatal("version did not change across a put")
+	}
+	if len(snap1) != 1 || len(snap2) != 2 {
+		t.Fatalf("snapshots not stable: %d then %d", len(snap1), len(snap2))
+	}
+}
+
+func TestDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	type key struct {
+		name string
+		step int
+	}
+	want := map[key][]float64{}
+	for i := 0; i < 20; i++ {
+		v := testValues(16+i, float64(i))
+		name := fmt.Sprintf("var%d", i%4)
+		if err := s.Put(ctx, "tenant-a", name, i, v, 0); err != nil {
+			t.Fatal(err)
+		}
+		want[key{name, i}] = v
+	}
+	if err := s.Put(ctx, "tenant-b", "other", 0, testValues(8, 99), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "tenant-a", "late", 0, testValues(8, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+
+	s2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep.Dirty() {
+		t.Fatalf("clean shutdown reported dirty: %s", rep.Summary())
+	}
+	if got := s2.Tenants(); len(got) != 2 {
+		t.Fatalf("recovered tenants %v", got)
+	}
+	for k, v := range want {
+		got, err := s2.Get("tenant-a", k.name, k.step)
+		if err != nil {
+			t.Fatalf("get %s@%d: %v", k.name, k.step, err)
+		}
+		if len(got) != len(v) {
+			t.Fatalf("get %s@%d: %d values, want %d", k.name, k.step, len(got), len(v))
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				t.Fatalf("get %s@%d: value %d differs", k.name, k.step, i)
+			}
+		}
+	}
+}
+
+func TestCompactAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(ctx, "a", "u", i, testValues(64, float64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact("a"); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	tdir := filepath.Join(dir, "t_a")
+	ents, err := os.ReadDir(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := 0
+	for _, de := range ents {
+		if _, ok := parseSealedGen(de.Name()); ok {
+			sealed++
+		}
+	}
+	if sealed != 1 {
+		t.Fatalf("%d sealed segments after compaction, want 1", sealed)
+	}
+	jinfo, err := os.Stat(filepath.Join(tdir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jinfo.Size() != int64(len(journalMagic)) {
+		t.Fatalf("journal not reset after compaction: %d bytes", jinfo.Size())
+	}
+
+	// More puts after compaction land in the journal; both layers recover.
+	for i := 10; i < 15; i++ {
+		if err := s.Put(ctx, "a", "u", i, testValues(64, float64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second compaction supersedes the first generation.
+	if err := s.Compact("a"); err != nil {
+		t.Fatalf("compact 2: %v", err)
+	}
+	for i := 15; i < 18; i++ {
+		if err := s.Put(ctx, "a", "u", i, testValues(64, float64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rep.Tenants) != 1 {
+		t.Fatalf("recovered %d tenants", len(rep.Tenants))
+	}
+	tr := rep.Tenants[0]
+	if tr.SealedEntries != 15 || tr.JournalEntries != 3 || tr.Entries() != 18 {
+		t.Fatalf("recovery split sealed=%d journal=%d total=%d", tr.SealedEntries, tr.JournalEntries, tr.Entries())
+	}
+	if tr.SealedGen != 2 {
+		t.Fatalf("recovered gen %d, want 2", tr.SealedGen)
+	}
+	for i := 0; i < 18; i++ {
+		got, err := s2.Get("a", "u", i)
+		if err != nil {
+			t.Fatalf("get u@%d: %v", i, err)
+		}
+		want := testValues(64, float64(i))
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("u@%d value %d differs after compaction round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{CompactEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 32; i++ {
+		if err := s.Put(ctx, "a", "w", i, testValues(32, float64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // waits for background compactions
+
+	s2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rep.Tenants) != 1 || rep.Tenants[0].Entries() != 32 {
+		t.Fatalf("recovered %s", rep.Summary())
+	}
+	if rep.Tenants[0].SealedEntries == 0 {
+		t.Fatal("auto-compaction never sealed anything")
+	}
+}
+
+func TestRecoveryTornTailOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(ctx, "a", "p", i, testValues(16, float64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a torn final write: append half a record's worth of garbage.
+	jpath := filepath.Join(dir, "t_a", journalName)
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append([]byte("PJR1"), bytes.Repeat([]byte{0xAB}, 40)...)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 1 {
+		t.Fatalf("recovered %d tenants", len(rep.Tenants))
+	}
+	tr := rep.Tenants[0]
+	if tr.TornTailBytes != 44 {
+		t.Fatalf("TornTailBytes = %d, want 44", tr.TornTailBytes)
+	}
+	if tr.Entries() != 5 {
+		t.Fatalf("recovered %d entries, want 5", tr.Entries())
+	}
+	// The torn tail is gone from disk, and the store accepts new appends.
+	if err := s2.Put(ctx, "a", "p", 5, testValues(16, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	s3, rep3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rep3.Dirty() {
+		t.Fatalf("second recovery still dirty: %s", rep3.Summary())
+	}
+	if rep3.Tenants[0].Entries() != 6 {
+		t.Fatalf("second recovery got %d entries, want 6", rep3.Tenants[0].Entries())
+	}
+}
+
+func TestRecoverySkipsForeignDirs(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "lost+found"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(rep.SkippedDirs) != 2 {
+		t.Fatalf("SkippedDirs = %v", rep.SkippedDirs)
+	}
+}

@@ -1,0 +1,29 @@
+package durable
+
+import (
+	"sync/atomic"
+
+	"primacy/internal/trace"
+)
+
+// ttrc is the durable store's tracer, mirroring the archive pattern.
+var ttrc atomic.Pointer[trace.Tracer]
+
+// EnableTracing routes the durable store's spans to t; a nil t disables
+// tracing.
+func EnableTracing(t *trace.Tracer) {
+	if t == nil {
+		ttrc.Store(nil)
+		return
+	}
+	ttrc.Store(t)
+}
+
+// startSpan opens a span nested under the caller's context span when one is
+// present, a fresh root otherwise, inert when tracing is off.
+func startSpan(parent trace.Span, name string) trace.Span {
+	if parent.Active() {
+		return parent.Child(name)
+	}
+	return ttrc.Load().Start(name)
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -10,25 +11,22 @@ import (
 	"primacy/internal/archive"
 	"primacy/internal/bytesplit"
 	"primacy/internal/core"
+	"primacy/internal/durable"
 )
 
-// tenantArchive is one tenant's in-memory ADIOS-style archive: raw entries
-// accepted by /v1/archive/put, encoded lazily into an archive container on
-// first get and cached until the next put invalidates it. Rebuilding through
-// archive.NewWriterCtx keeps the archive path — entry framing, TOC,
-// checksums — under the same deadlines and admission as everything else.
+// tenantArchive is one tenant's cached archive container blob. The entries
+// themselves live in the durable store; this caches only the lazily-encoded
+// container a get serves, keyed by the store version it was built from, so a
+// put never needs to touch it. Rebuilding through archive.NewWriterCtx keeps
+// the archive path — entry framing, TOC, checksums — under the same
+// deadlines and admission as everything else.
 type tenantArchive struct {
-	mu       sync.Mutex
-	entries  []archEntry
-	rawBytes int64
-	// blob is the encoded archive (nil after a put dirties it).
-	blob []byte
-}
-
-type archEntry struct {
-	name   string
-	step   int
-	values []float64
+	mu sync.Mutex
+	// blob is the encoded archive built from store version blobVer; a
+	// version mismatch at read time means puts landed since and the blob is
+	// rebuilt.
+	blob    []byte
+	blobVer int64
 }
 
 func (s *Server) tenantArchiveFor(tenant string) *tenantArchive {
@@ -76,24 +74,21 @@ func (s *Server) opArchivePut(req *request) (*response, error) {
 		return nil, err
 	}
 	defer release()
-	ta := s.tenantArchiveFor(req.tenant)
-	ta.mu.Lock()
-	defer ta.mu.Unlock()
-	if ta.rawBytes+int64(len(req.body)) > s.cfg.MaxArchiveBytes {
-		return nil, &httpError{
-			status: http.StatusRequestEntityTooLarge,
-			msg:    fmt.Sprintf("tenant archive budget %d bytes exceeded", s.cfg.MaxArchiveBytes),
-		}
-	}
-	for _, e := range ta.entries {
-		if e.name == name && e.step == step {
+	// When this returns nil the entry is journaled and fsync'd — the 200 is
+	// a durability receipt, not just an acknowledgement.
+	if err := s.store.Put(req.ctx, req.tenant, name, step, values, s.cfg.MaxArchiveBytes); err != nil {
+		switch {
+		case errors.Is(err, durable.ErrExists):
 			return nil, &httpError{status: http.StatusConflict,
 				msg: fmt.Sprintf("entry %s@%d already archived", name, step)}
+		case errors.Is(err, durable.ErrOverBudget):
+			return nil, &httpError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("tenant archive budget %d bytes exceeded", s.cfg.MaxArchiveBytes),
+			}
 		}
+		return nil, fmt.Errorf("archiving %s@%d: %w", name, step, err)
 	}
-	ta.entries = append(ta.entries, archEntry{name: name, step: step, values: values})
-	ta.rawBytes += int64(len(req.body))
-	ta.blob = nil
 	return &response{body: []byte(fmt.Sprintf("archived %s@%d (%d values)\n", name, step, len(values)))}, nil
 }
 
@@ -106,27 +101,37 @@ func (s *Server) opArchiveGet(req *request) (*response, error) {
 	if err != nil {
 		return nil, err
 	}
-	ta := s.tenantArchiveFor(req.tenant)
-	ta.mu.Lock()
-	defer ta.mu.Unlock()
-	if len(ta.entries) == 0 {
+	// Admission is acquired before any tenant lock: a get queued behind the
+	// fair-share gate must never hold the archive mutex while waiting, or a
+	// saturated admitter would wedge every put for the tenant.
+	rawBytes := s.store.RawBytes(req.tenant)
+	if rawBytes == 0 {
 		return nil, &httpError{status: http.StatusNotFound, msg: "tenant has no archived entries"}
 	}
-	release, err := s.admit(req, ta.rawBytes)
+	release, err := s.admit(req, rawBytes)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	if ta.blob == nil {
-		blob, err := buildArchive(req, ta.entries, opts)
+	ta := s.tenantArchiveFor(req.tenant)
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	entries, ver := s.store.Snapshot(req.tenant)
+	if len(entries) == 0 {
+		return nil, &httpError{status: http.StatusNotFound, msg: "tenant has no archived entries"}
+	}
+	if ta.blob == nil || ta.blobVer != ver {
+		blob, err := buildArchive(req, entries, opts)
 		if err != nil {
 			return nil, err
 		}
 		ta.blob = blob
+		ta.blobVer = ver
 	}
 	if name == "" {
-		// Whole-archive download.
-		return &response{body: ta.blob}, nil
+		// Whole-archive download: hand out a copy, never the cached slice —
+		// a caller mutating the body must not poison every later download.
+		return &response{body: append([]byte(nil), ta.blob...)}, nil
 	}
 	rd, err := archive.NewReader(bytes.NewReader(ta.blob), int64(len(ta.blob)))
 	if err != nil {
@@ -142,14 +147,14 @@ func (s *Server) opArchiveGet(req *request) (*response, error) {
 
 // buildArchive encodes entries into an archive container under the request's
 // deadline.
-func buildArchive(req *request, entries []archEntry, opts core.Options) ([]byte, error) {
+func buildArchive(req *request, entries []durable.Entry, opts core.Options) ([]byte, error) {
 	var buf bytes.Buffer
 	w, err := archive.NewWriterCtx(req.ctx, &buf, opts)
 	if err != nil {
 		return nil, err
 	}
 	for _, e := range entries {
-		if err := w.PutFloat64s(e.name, e.step, e.values); err != nil {
+		if err := w.PutFloat64s(e.Name, e.Step, e.Values); err != nil {
 			return nil, err
 		}
 	}

@@ -25,6 +25,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"primacy/internal/core"
+	"primacy/internal/durable"
 	"primacy/internal/fairshare"
 	"primacy/internal/solver"
 	"primacy/internal/telemetry"
@@ -68,6 +70,19 @@ type Config struct {
 
 	// MaxArchiveBytes caps one tenant's raw archived bytes (256 MiB when 0).
 	MaxArchiveBytes int64
+
+	// DataDir roots the durable archive store. When set, /v1/archive/put
+	// journals and fsyncs every entry before acknowledging, and the server
+	// recovers the archive state on startup. Empty (default) keeps the
+	// archive purely in memory.
+	DataDir string
+	// NoFsync disables fsync in the durable store — faster, but an
+	// acknowledged put can be lost to a crash. Meaningless without DataDir.
+	NoFsync bool
+	// CompactEvery seals a tenant's journal into an archive segment after
+	// this many journaled puts (durable store default when 0, negative
+	// disables auto-compaction).
+	CompactEvery int
 
 	// Metrics, when set, receives the server's counters and serves
 	// /metrics. Nil disables both.
@@ -134,8 +149,15 @@ type Server struct {
 	inflight sync.WaitGroup
 	draining atomic.Bool
 
+	// store holds the archive entries (durable when cfg.DataDir is set);
+	// archives caches per-tenant encoded container blobs on top of it.
+	store    *durable.Store
+	recovery *durable.RecoveryReport
 	archMu   sync.Mutex
 	archives map[string]*tenantArchive
+
+	closeStore sync.Once
+	storeErr   error
 }
 
 // New validates cfg and returns a ready-to-serve Server.
@@ -143,6 +165,14 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if _, err := solver.Get(cfg.Solver); err != nil && cfg.Solver != "none" {
 		return nil, fmt.Errorf("server: default solver: %w", err)
+	}
+	store, recovery, err := durable.Open(cfg.DataDir, durable.Options{
+		NoFsync:      cfg.NoFsync,
+		CompactEvery: cfg.CompactEvery,
+		Core:         core.Options{Solver: cfg.Solver, ChunkBytes: cfg.ChunkBytes},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: opening durable store: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -157,6 +187,8 @@ func New(cfg Config) (*Server, error) {
 		cache:      newResultCache(cfg.CacheBytes),
 		baseCtx:    ctx,
 		cancelBase: cancel,
+		store:      store,
+		recovery:   recovery,
 		archives:   make(map[string]*tenantArchive),
 	}
 	if r := cfg.Metrics; r != nil {
@@ -189,6 +221,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Admitter exposes the fair-share gate (load driver and tests).
 func (s *Server) Admitter() *fairshare.Admitter { return s.adm }
 
+// Recovery reports what startup recovery found in the durable store (empty
+// for a clean start or in-memory mode, never nil).
+func (s *Server) Recovery() *durable.RecoveryReport { return s.recovery }
+
+// shutdownStore flushes and closes the durable store exactly once.
+func (s *Server) shutdownStore() error {
+	s.closeStore.Do(func() { s.storeErr = s.store.Close() })
+	return s.storeErr
+}
+
 // drainGrace is how long a forced drain waits, after cancelling in-flight
 // work, for handlers to unwind before declaring the drain dirty.
 const drainGrace = 5 * time.Second
@@ -208,15 +250,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.shutdownStore()
 	case <-ctx.Done():
 	}
 	// Deadline-cancel in-flight work and give handlers a bounded unwind.
 	s.cancelBase()
 	select {
 	case <-done:
-		return nil
+		return s.shutdownStore()
 	case <-time.After(drainGrace):
+		// Close the store anyway: journals are already fsync'd per put, so
+		// this only flushes compactions and file handles.
+		s.shutdownStore()
 		return fmt.Errorf("server: drain timed out with requests still in flight")
 	}
 }
@@ -226,4 +271,5 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.cancelBase()
+	s.shutdownStore()
 }

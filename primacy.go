@@ -28,6 +28,7 @@ import (
 	"primacy/internal/archive"
 	"primacy/internal/core"
 	"primacy/internal/datagen"
+	"primacy/internal/durable"
 	"primacy/internal/fairshare"
 	"primacy/internal/governor"
 	"primacy/internal/hpcsim"
@@ -456,8 +457,9 @@ func NewMetrics() *Metrics { return telemetry.NewRegistry() }
 // EnableTelemetry routes every subsystem's metrics — codec stage timers
 // (the paper's α₁/α₂ decomposition), byte throughput, degraded-chunk and
 // salvage-fault counts, pipeline shard timing, stream segment accounting,
-// archive entry accounting, governor admission waits and queue depth, and
-// retry attempts/backoff — to m. A nil m disables recording; the disabled
+// archive entry accounting, durable-store journal appends, fsync latency,
+// compactions and recovery salvage counts, governor admission waits and
+// queue depth, and retry attempts/backoff — to m. A nil m disables recording; the disabled
 // hot path costs one atomic load and nil check, with no allocation.
 //
 // The routing is process-wide (one registry at a time), matching how a
@@ -467,6 +469,7 @@ func EnableTelemetry(m *Metrics) {
 	pipeline.EnableTelemetry(m)
 	stream.EnableTelemetry(m)
 	archive.EnableTelemetry(m)
+	durable.EnableTelemetry(m)
 	governor.EnableTelemetry(m)
 	fairshare.EnableTelemetry(m)
 	retry.EnableTelemetry(m)
@@ -494,7 +497,8 @@ func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
 
 // EnableTracing routes every subsystem's spans — per-chunk codec stage
 // spans, pipeline shard spans, stream segment spans, archive entry spans,
-// governor waits, and retry attempts — to t. A nil t disables tracing; the
+// durable-store journal appends, compactions and recovery, governor waits,
+// and retry attempts — to t. A nil t disables tracing; the
 // disabled hot path costs one atomic load and nil check, with no
 // allocation.
 //
@@ -505,6 +509,7 @@ func EnableTracing(t *Tracer) {
 	pipeline.EnableTracing(t)
 	stream.EnableTracing(t)
 	archive.EnableTracing(t)
+	durable.EnableTracing(t)
 	governor.EnableTracing(t)
 	fairshare.EnableTracing(t)
 	retry.EnableTracing(t)
