@@ -4,6 +4,7 @@ import (
 	"os"
 	"testing"
 
+	"primacy/internal/datagen"
 	"primacy/internal/experiments"
 )
 
@@ -33,6 +34,28 @@ func TestCommittedBaselineValid(t *testing.T) {
 			if !seen[sv+"/"+ds] {
 				t.Errorf("baseline missing cell %s/%s", sv, ds)
 			}
+		}
+	}
+	if base.GOMAXPROCS <= 0 {
+		t.Error("baseline missing effective GOMAXPROCS (regenerate with current benchperf)")
+	}
+	mc := base.Multicore
+	if mc == nil {
+		t.Fatal("baseline missing multi-core scaling section (regenerate with current benchperf)")
+	}
+	if err := mc.CheckScaling(); err != nil {
+		t.Errorf("committed multi-core baseline fails the scaling check: %v", err)
+	}
+	mcSeen := map[string]bool{}
+	for _, e := range mc.Entries {
+		mcSeen[e.Dataset] = true
+		if e.Workers > 1 && e.Speedup <= 0 {
+			t.Errorf("multicore %s/workers=%d has no speedup ratio", e.Dataset, e.Workers)
+		}
+	}
+	for _, ds := range datagen.Names() {
+		if !mcSeen[ds] {
+			t.Errorf("multicore section missing dataset %s", ds)
 		}
 	}
 }

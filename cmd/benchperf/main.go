@@ -1,7 +1,9 @@
 // Command benchperf measures end-to-end codec throughput (the paper's
 // CTP/DTP) and steady-state allocation counts per solver on the three
-// representative datasets, and writes the machine-readable baseline that is
-// committed as BENCH_throughput.json.
+// representative datasets, plus multi-core pipeline scaling (goodput,
+// speedup, efficiency per dataset across a 1/2/4/NumCPU worker ladder), and
+// writes the machine-readable baseline that is committed as
+// BENCH_throughput.json.
 //
 // Usage:
 //
@@ -32,6 +34,8 @@ func main() {
 	out := flag.String("o", "", "write baseline JSON to this file (stdout when empty)")
 	precondMode := flag.Bool("precond", false, "compare preconditioner selection modes (fixed/apriori/aposteriori) over all datasets instead of measuring the throughput baseline")
 	precondSolver := flag.String("precond-solver", "zlib", "solver for the -precond comparison")
+	noMulticore := flag.Bool("no-multicore", false, "skip the multi-core pipeline scaling measurement")
+	mcN := flag.Int("multicore-n", 0, "elements per dataset for the multi-core section (0 = same as -n)")
 	flag.Parse()
 
 	if *precondMode {
@@ -53,6 +57,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if !*noMulticore {
+		mcCfg := cfg
+		if *mcN > 0 {
+			mcCfg.N = *mcN
+		}
+		// The multi-core section sweeps all 20 datasets across the worker
+		// ladder; it reuses the throughput run's sampling shape.
+		base.Multicore, err = experiments.MeasureMulticore(mcCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := base.Check(); err != nil {
 		log.Fatal(err)
 	}
@@ -73,6 +89,14 @@ func main() {
 			e.CTPMBps, e.CTPMedianMBps, e.CTPStddevMBps,
 			e.DTPMBps, e.DTPMedianMBps, e.DTPStddevMBps,
 			e.CompressAllocs, e.DecompressAllocs)
+	}
+	if mc := base.Multicore; mc != nil {
+		fmt.Printf("multi-core pipeline scaling (GOMAXPROCS %d, %d elements/dataset, workers %v):\n",
+			mc.GOMAXPROCS, mc.Elements, mc.WorkerCounts)
+		for _, e := range mc.Entries {
+			fmt.Printf("  %-16s workers %2d  %8.2f MB/s  speedup %5.2fx  efficiency %4.0f%%\n",
+				e.Dataset, e.Workers, e.CompressMBps, e.Speedup, 100*e.Efficiency)
+		}
 	}
 	if o := base.Overhead; o != nil {
 		fmt.Printf("observability overhead (%s, %d reps x %d samples, min/median±stddev ms/op):\n", o.Dataset, o.Reps, o.Samples)

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -34,7 +35,7 @@ func run(args []string) int {
 		addr      = fs.String("addr", ":8080", "listen address")
 		solver    = fs.String("solver", "zlib", "default codec backend (per-request override via ?solver=)")
 		chunk     = fs.Int("chunk", 0, "codec chunk size in bytes (0: codec default)")
-		workers   = fs.Int("workers", 1, "per-request pipeline width")
+		workers   = fs.Int("workers", 0, "per-request pipeline width (0 = GOMAXPROCS)")
 		memBudget = fs.Int64("mem-budget", 0, "admission memory budget in bytes (0: fairshare default)")
 		maxConc   = fs.Int("max-concurrent", 0, "max concurrently admitted requests (0: fairshare default)")
 		maxQueued = fs.Int("max-queued", 0, "global queue cap before shed-oldest (0: fairshare default)")
@@ -104,7 +105,11 @@ func run(args []string) int {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "primacyd: serving on %s (solver=%s workers=%d)\n", *addr, *solver, *workers)
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "primacyd: serving on %s (solver=%s workers=%d)\n", *addr, *solver, effWorkers)
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

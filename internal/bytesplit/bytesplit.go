@@ -56,12 +56,7 @@ func Split(data []byte) (hi, lo []byte, err error) {
 	n := len(data) / BytesPerValue
 	hi = make([]byte, n*HighBytes)
 	lo = make([]byte, n*LowBytes)
-	for i := 0; i < n; i++ {
-		row := data[i*BytesPerValue:]
-		hi[i*HighBytes] = row[0]
-		hi[i*HighBytes+1] = row[1]
-		copy(lo[i*LowBytes:(i+1)*LowBytes], row[HighBytes:BytesPerValue])
-	}
+	splitWords(hi, lo, data, BytesPerValue)
 	return hi, lo, nil
 }
 
@@ -79,12 +74,7 @@ func Merge(hi, lo []byte) ([]byte, error) {
 			n, len(lo)/LowBytes)
 	}
 	out := make([]byte, n*BytesPerValue)
-	for i := 0; i < n; i++ {
-		row := out[i*BytesPerValue:]
-		row[0] = hi[i*HighBytes]
-		row[1] = hi[i*HighBytes+1]
-		copy(row[HighBytes:BytesPerValue], lo[i*LowBytes:(i+1)*LowBytes])
-	}
+	mergeWords(out, hi, lo, BytesPerValue)
 	return out, nil
 }
 
@@ -108,12 +98,9 @@ func AppendColumnize(dst, data []byte, width int) ([]byte, error) {
 	n := len(data) / width
 	base := len(dst)
 	out := grow(dst, len(data))
-	for c := 0; c < width; c++ {
-		col := out[base+c*n : base+(c+1)*n]
-		for r := 0; r < n; r++ {
-			col[r] = data[r*width+c]
-		}
-	}
+	// Width 2 — the ID matrix every chunk transposes — runs word-at-a-time;
+	// other widths keep the scalar gather.
+	columnizeWords(out[base:base+len(data)], data, width, n)
 	return out, nil
 }
 
@@ -134,14 +121,9 @@ func AppendDecolumnize(dst, data []byte, width int) ([]byte, error) {
 	n := len(data) / width
 	base := len(dst)
 	out := grow(dst, len(data))
-	// Zero-based view keeps the scatter loop at non-append speed.
-	seg := out[base : base+len(data)]
-	for c := 0; c < width; c++ {
-		col := data[c*n : (c+1)*n]
-		for r := 0; r < n; r++ {
-			seg[r*width+c] = col[r]
-		}
-	}
+	// Zero-based view keeps the scatter loop at non-append speed; width 2
+	// runs word-at-a-time, other widths keep the scalar scatter.
+	decolumnizeWords(out[base:base+len(data)], data, width, n)
 	return out, nil
 }
 

@@ -55,15 +55,34 @@ func (l Layout) AppendSplit(hiDst, loDst, data []byte) (hi, lo []byte, err error
 	hiBase, loBase := len(hiDst), len(loDst)
 	hi = grow(hiDst, n*l.HiBytes)
 	lo = grow(loDst, n*lb)
-	// Zero-based views keep the split loop at non-append speed.
-	hiSeg := hi[hiBase:]
-	loSeg := lo[loBase:]
-	for i := 0; i < n; i++ {
-		row := data[i*l.ElemBytes:]
-		hiSeg[i*2] = row[0]
-		hiSeg[i*2+1] = row[1]
-		copy(loSeg[i*lb:(i+1)*lb], row[2:l.ElemBytes])
+	// Zero-based views keep the split loop at non-append speed; the word
+	// kernel moves four elements per iteration (scalar reference for tails
+	// and unspecialized widths).
+	splitWords(hi[hiBase:], lo[loBase:], data, l.ElemBytes)
+	return hi, lo, nil
+}
+
+// AppendSplitCount is AppendSplit fused with the frequency histogram: one
+// traversal fills the hi and lo planes and increments counts[seq] for each
+// big-endian 2-byte high-order sequence, so building a fresh per-chunk index
+// never re-reads the hi plane. counts must have SequencePairs entries; the
+// caller owns zeroing it between chunks (reusing one flat counter arena per
+// codec keeps the pass allocation-free).
+func (l Layout) AppendSplitCount(hiDst, loDst, data []byte, counts []uint32) (hi, lo []byte, err error) {
+	if !l.Valid() {
+		return nil, nil, fmt.Errorf("bytesplit: invalid layout %+v", l)
 	}
+	if len(counts) != SequencePairs {
+		return nil, nil, fmt.Errorf("bytesplit: counts size %d, want %d", len(counts), SequencePairs)
+	}
+	if len(data)%l.ElemBytes != 0 {
+		return nil, nil, fmt.Errorf("%w: %d", ErrBadLength, len(data))
+	}
+	n := len(data) / l.ElemBytes
+	hiBase, loBase := len(hiDst), len(loDst)
+	hi = grow(hiDst, n*l.HiBytes)
+	lo = grow(loDst, n*l.LoBytes())
+	splitCountWords(hi[hiBase:], lo[loBase:], data, l.ElemBytes, counts)
 	return hi, lo, nil
 }
 
@@ -91,13 +110,7 @@ func (l Layout) AppendMerge(dst, hi, lo []byte) ([]byte, error) {
 	}
 	base := len(dst)
 	out := grow(dst, n*l.ElemBytes)
-	seg := out[base:]
-	for i := 0; i < n; i++ {
-		row := seg[i*l.ElemBytes:]
-		row[0] = hi[i*2]
-		row[1] = hi[i*2+1]
-		copy(row[2:l.ElemBytes], lo[i*lb:(i+1)*lb])
-	}
+	mergeWords(out[base:], hi, lo, l.ElemBytes)
 	return out, nil
 }
 

@@ -1,0 +1,321 @@
+// Word-at-a-time kernels for the hot byte-matrix loops. Each kernel
+// processes whole uint64 words via encoding/binary's little-endian views —
+// a byte-order *interpretation*, so the transforms are byte-exact on any
+// platform — and falls back to the retained scalar reference for the tail
+// and for layouts without a specialized kernel. The scalar loops are the
+// semantic ground truth; the equivalence tests in word_test.go hold the
+// kernels to them byte for byte on every residue length.
+package bytesplit
+
+import "encoding/binary"
+
+// SequencePairs is the size of the 2-byte-sequence counter space the fused
+// split+count kernel fills (matches freq.SequenceSpace; asserted here so the
+// packages cannot drift apart silently).
+const SequencePairs = 1 << 16
+
+// splitScalar is the scalar reference for the split loop: element i of data
+// contributes its first 2 bytes to hi[2i:] and the rest to lo.
+func splitScalar(hiSeg, loSeg, data []byte, elemBytes int) {
+	lb := elemBytes - 2
+	n := len(data) / elemBytes
+	for i := 0; i < n; i++ {
+		row := data[i*elemBytes:]
+		hiSeg[i*2] = row[0]
+		hiSeg[i*2+1] = row[1]
+		copy(loSeg[i*lb:(i+1)*lb], row[2:elemBytes])
+	}
+}
+
+// splitWords dispatches to the word kernel for the layout, falling back to
+// the scalar reference for element widths without one.
+func splitWords(hiSeg, loSeg, data []byte, elemBytes int) {
+	switch elemBytes {
+	case 8:
+		splitWords8(hiSeg, loSeg, data)
+	case 4:
+		splitWords4(hiSeg, loSeg, data)
+	default:
+		splitScalar(hiSeg, loSeg, data, elemBytes)
+	}
+}
+
+// splitWords8 splits float64-layout data (8-byte elements, 2+6) four
+// elements per iteration: four uint64 loads become one packed hi word and
+// three packed lo words, so every byte is moved by word-width stores.
+func splitWords8(hiSeg, loSeg, data []byte) {
+	le := binary.LittleEndian
+	n := len(data) / 8
+	nb := n / 4
+	for b := 0; b < nb; b++ {
+		d := data[b*32 : b*32+32]
+		v0 := le.Uint64(d[0:8])
+		v1 := le.Uint64(d[8:16])
+		v2 := le.Uint64(d[16:24])
+		v3 := le.Uint64(d[24:32])
+		hw := hiSeg[b*8 : b*8+8]
+		le.PutUint64(hw, v0&0xFFFF|(v1&0xFFFF)<<16|(v2&0xFFFF)<<32|v3<<48)
+		l0, l1, l2, l3 := v0>>16, v1>>16, v2>>16, v3>>16
+		lw := loSeg[b*24 : b*24+24]
+		le.PutUint64(lw[0:8], l0|l1<<48)
+		le.PutUint64(lw[8:16], l1>>16|l2<<32)
+		le.PutUint64(lw[16:24], l2>>32|l3<<16)
+	}
+	if rem := n % 4; rem > 0 {
+		splitScalar(hiSeg[nb*8:], loSeg[nb*24:], data[nb*32:], 8)
+	}
+}
+
+// splitWords4 splits float32-layout data (4-byte elements, 2+2) four
+// elements per iteration: two uint64 loads become one hi word and one lo
+// word.
+func splitWords4(hiSeg, loSeg, data []byte) {
+	le := binary.LittleEndian
+	n := len(data) / 4
+	nb := n / 4
+	for b := 0; b < nb; b++ {
+		d := data[b*16 : b*16+16]
+		va := le.Uint64(d[0:8])
+		vb := le.Uint64(d[8:16])
+		le.PutUint64(hiSeg[b*8:b*8+8],
+			va&0xFFFF|(va>>32&0xFFFF)<<16|(vb&0xFFFF)<<32|(vb>>32&0xFFFF)<<48)
+		le.PutUint64(loSeg[b*8:b*8+8],
+			va>>16&0xFFFF|(va>>48)<<16|(vb>>16&0xFFFF)<<32|(vb>>48)<<48)
+	}
+	if rem := n % 4; rem > 0 {
+		splitScalar(hiSeg[nb*8:], loSeg[nb*8:], data[nb*16:], 4)
+	}
+}
+
+// splitCountScalar is the scalar reference for the fused split+histogram
+// pass: the split of splitScalar plus counts[seq]++ for each big-endian
+// 2-byte high-order sequence.
+func splitCountScalar(hiSeg, loSeg, data []byte, elemBytes int, counts []uint32) {
+	lb := elemBytes - 2
+	n := len(data) / elemBytes
+	for i := 0; i < n; i++ {
+		row := data[i*elemBytes:]
+		hiSeg[i*2] = row[0]
+		hiSeg[i*2+1] = row[1]
+		counts[uint16(row[0])<<8|uint16(row[1])]++
+		copy(loSeg[i*lb:(i+1)*lb], row[2:elemBytes])
+	}
+}
+
+// bswap16 converts a little-endian-packed 2-byte pair to the big-endian
+// sequence value the frequency mapper ranks (seq = b0<<8 | b1).
+func bswap16(v uint64) uint32 {
+	return uint32(v&0xFF)<<8 | uint32(v>>8&0xFF)
+}
+
+// splitCountWords is the fused dispatcher: one traversal fills the hi and lo
+// planes and the 64Ki sequence counter together, so the histogram pass never
+// re-reads the hi plane from memory.
+func splitCountWords(hiSeg, loSeg, data []byte, elemBytes int, counts []uint32) {
+	switch elemBytes {
+	case 8:
+		splitCountWords8(hiSeg, loSeg, data, counts)
+	case 4:
+		splitCountWords4(hiSeg, loSeg, data, counts)
+	default:
+		splitCountScalar(hiSeg, loSeg, data, elemBytes, counts)
+	}
+}
+
+func splitCountWords8(hiSeg, loSeg, data []byte, counts []uint32) {
+	le := binary.LittleEndian
+	n := len(data) / 8
+	nb := n / 4
+	for b := 0; b < nb; b++ {
+		d := data[b*32 : b*32+32]
+		v0 := le.Uint64(d[0:8])
+		v1 := le.Uint64(d[8:16])
+		v2 := le.Uint64(d[16:24])
+		v3 := le.Uint64(d[24:32])
+		counts[bswap16(v0)]++
+		counts[bswap16(v1)]++
+		counts[bswap16(v2)]++
+		counts[bswap16(v3)]++
+		le.PutUint64(hiSeg[b*8:b*8+8], v0&0xFFFF|(v1&0xFFFF)<<16|(v2&0xFFFF)<<32|v3<<48)
+		l0, l1, l2, l3 := v0>>16, v1>>16, v2>>16, v3>>16
+		lw := loSeg[b*24 : b*24+24]
+		le.PutUint64(lw[0:8], l0|l1<<48)
+		le.PutUint64(lw[8:16], l1>>16|l2<<32)
+		le.PutUint64(lw[16:24], l2>>32|l3<<16)
+	}
+	if rem := n % 4; rem > 0 {
+		splitCountScalar(hiSeg[nb*8:], loSeg[nb*24:], data[nb*32:], 8, counts)
+	}
+}
+
+func splitCountWords4(hiSeg, loSeg, data []byte, counts []uint32) {
+	le := binary.LittleEndian
+	n := len(data) / 4
+	nb := n / 4
+	for b := 0; b < nb; b++ {
+		d := data[b*16 : b*16+16]
+		va := le.Uint64(d[0:8])
+		vb := le.Uint64(d[8:16])
+		counts[bswap16(va)]++
+		counts[bswap16(va>>32)]++
+		counts[bswap16(vb)]++
+		counts[bswap16(vb>>32)]++
+		le.PutUint64(hiSeg[b*8:b*8+8],
+			va&0xFFFF|(va>>32&0xFFFF)<<16|(vb&0xFFFF)<<32|(vb>>32&0xFFFF)<<48)
+		le.PutUint64(loSeg[b*8:b*8+8],
+			va>>16&0xFFFF|(va>>48)<<16|(vb>>16&0xFFFF)<<32|(vb>>48)<<48)
+	}
+	if rem := n % 4; rem > 0 {
+		splitCountScalar(hiSeg[nb*8:], loSeg[nb*8:], data[nb*16:], 4, counts)
+	}
+}
+
+// mergeScalar is the scalar reference for the merge loop (inverse of
+// splitScalar).
+func mergeScalar(seg, hi, lo []byte, elemBytes int) {
+	lb := elemBytes - 2
+	n := len(hi) / 2
+	for i := 0; i < n; i++ {
+		row := seg[i*elemBytes:]
+		row[0] = hi[i*2]
+		row[1] = hi[i*2+1]
+		copy(row[2:elemBytes], lo[i*lb:(i+1)*lb])
+	}
+}
+
+// mergeWords dispatches to the word merge kernel for the layout.
+func mergeWords(seg, hi, lo []byte, elemBytes int) {
+	switch elemBytes {
+	case 8:
+		mergeWords8(seg, hi, lo)
+	case 4:
+		mergeWords4(seg, hi, lo)
+	default:
+		mergeScalar(seg, hi, lo, elemBytes)
+	}
+}
+
+// mergeWords8 reassembles float64-layout rows four elements per iteration:
+// one hi word and three lo words become four element words.
+func mergeWords8(seg, hi, lo []byte) {
+	le := binary.LittleEndian
+	n := len(hi) / 2
+	nb := n / 4
+	for b := 0; b < nb; b++ {
+		h := le.Uint64(hi[b*8 : b*8+8])
+		lw := lo[b*24 : b*24+24]
+		l0 := le.Uint64(lw[0:8])
+		l1 := le.Uint64(lw[8:16])
+		l2 := le.Uint64(lw[16:24])
+		s := seg[b*32 : b*32+32]
+		le.PutUint64(s[0:8], h&0xFFFF|(l0&0x0000FFFFFFFFFFFF)<<16)
+		le.PutUint64(s[8:16], h>>16&0xFFFF|(l0>>48)<<16|(l1&0xFFFFFFFF)<<32)
+		le.PutUint64(s[16:24], h>>32&0xFFFF|(l1>>32)<<16|(l2&0xFFFF)<<48)
+		le.PutUint64(s[24:32], h>>48|(l2>>16)<<16)
+	}
+	if rem := n % 4; rem > 0 {
+		mergeScalar(seg[nb*32:], hi[nb*8:], lo[nb*24:], 8)
+	}
+}
+
+// mergeWords4 reassembles float32-layout rows four elements per iteration.
+func mergeWords4(seg, hi, lo []byte) {
+	le := binary.LittleEndian
+	n := len(hi) / 2
+	nb := n / 4
+	for b := 0; b < nb; b++ {
+		h := le.Uint64(hi[b*8 : b*8+8])
+		l := le.Uint64(lo[b*8 : b*8+8])
+		s := seg[b*16 : b*16+16]
+		le.PutUint64(s[0:8], h&0xFFFF|(l&0xFFFF)<<16|(h>>16&0xFFFF)<<32|(l>>16&0xFFFF)<<48)
+		le.PutUint64(s[8:16], h>>32&0xFFFF|(l>>32&0xFFFF)<<16|(h>>48)<<32|(l>>48)<<48)
+	}
+	if rem := n % 4; rem > 0 {
+		mergeScalar(seg[nb*16:], hi[nb*8:], lo[nb*8:], 4)
+	}
+}
+
+// columnizeScalar is the scalar reference for the row-major → column-major
+// transpose.
+func columnizeScalar(out, data []byte, width, n int) {
+	for c := 0; c < width; c++ {
+		col := out[c*n : (c+1)*n]
+		for r := 0; r < n; r++ {
+			col[r] = data[r*width+c]
+		}
+	}
+}
+
+// packEven compresses the four even-positioned bytes of v into its low four
+// byte lanes (the classic bit-group gather).
+func packEven(v uint64) uint64 {
+	v &= 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	return (v | v>>16) & 0x00000000FFFFFFFF
+}
+
+// spreadEven inverts packEven: the low four byte lanes of v move to the even
+// positions.
+func spreadEven(v uint64) uint64 {
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	return (v | v<<8) & 0x00FF00FF00FF00FF
+}
+
+// columnizeWords transposes, specializing the width-2 case — the ID matrix
+// every chunk routes through — to eight rows per iteration: two uint64 loads
+// are gathered into one word per column with shift-mask packing.
+func columnizeWords(out, data []byte, width, n int) {
+	if width != 2 {
+		columnizeScalar(out, data, width, n)
+		return
+	}
+	le := binary.LittleEndian
+	colA, colB := out[0:n], out[n:2*n]
+	nb := n / 8
+	for b := 0; b < nb; b++ {
+		d := data[b*16 : b*16+16]
+		v0 := le.Uint64(d[0:8])
+		v1 := le.Uint64(d[8:16])
+		le.PutUint64(colA[b*8:b*8+8], packEven(v0)|packEven(v1)<<32)
+		le.PutUint64(colB[b*8:b*8+8], packEven(v0>>8)|packEven(v1>>8)<<32)
+	}
+	for r := nb * 8; r < n; r++ {
+		colA[r] = data[r*2]
+		colB[r] = data[r*2+1]
+	}
+}
+
+// decolumnizeWords inverts columnizeWords with the same width-2
+// specialization: one word per column is scattered back into eight
+// interleaved rows.
+func decolumnizeWords(seg, data []byte, width, n int) {
+	if width != 2 {
+		decolumnizeScalar(seg, data, width, n)
+		return
+	}
+	le := binary.LittleEndian
+	colA, colB := data[0:n], data[n:2*n]
+	nb := n / 8
+	for b := 0; b < nb; b++ {
+		a := le.Uint64(colA[b*8 : b*8+8])
+		bb := le.Uint64(colB[b*8 : b*8+8])
+		s := seg[b*16 : b*16+16]
+		le.PutUint64(s[0:8], spreadEven(a&0xFFFFFFFF)|spreadEven(bb&0xFFFFFFFF)<<8)
+		le.PutUint64(s[8:16], spreadEven(a>>32)|spreadEven(bb>>32)<<8)
+	}
+	for r := nb * 8; r < n; r++ {
+		seg[r*2] = colA[r]
+		seg[r*2+1] = colB[r]
+	}
+}
+
+// decolumnizeScalar is the scalar reference for the column-major → row-major
+// scatter.
+func decolumnizeScalar(seg, data []byte, width, n int) {
+	for c := 0; c < width; c++ {
+		col := data[c*n : (c+1)*n]
+		for r := 0; r < n; r++ {
+			seg[r*width+c] = col[r]
+		}
+	}
+}

@@ -255,6 +255,21 @@ type scratch struct {
 	tf map[precond.TransformID]precond.Transform
 	// tchunk holds the inverse-transform output (decompress).
 	tchunk []byte
+
+	// counts is the 64Ki flat sequence counter the fused split+histogram
+	// pass fills; one arena per codec, zeroed between chunks, so ranked
+	// mapping never allocates a fresh histogram.
+	counts []uint32
+}
+
+// countsArena returns the zeroed flat counter, allocating it on first use.
+func (s *scratch) countsArena() []uint32 {
+	if s.counts == nil {
+		s.counts = make([]uint32, freq.SequenceSpace)
+	} else {
+		clear(s.counts)
+	}
+	return s.counts
 }
 
 // transform returns the cached inverse-transform instance for id, building
@@ -567,7 +582,21 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 	var ci chunkInfo
 	precStart := time.Now()
 	stageSpan := cs.Child("core.stage.bytesplit")
-	hi, lo, err := lay.AppendSplit(sc.hi[:0], sc.lo[:0], chunk)
+	// When a fresh per-chunk index is certain (ranked mapping with no prior
+	// index to reuse), fuse the histogram into the split: one traversal fills
+	// the hi/lo planes and the 64Ki flat counter together, so BuildIndex
+	// never re-reads the hi plane. The reuse path can't fuse — whether it
+	// needs a histogram depends on Covers(hi), which needs hi first.
+	fused := opts.Mapping == MapRanked && !(opts.IndexMode == IndexReuse && prev != nil)
+	var (
+		hi, lo []byte
+		err    error
+	)
+	if fused {
+		hi, lo, err = lay.AppendSplitCount(sc.hi[:0], sc.lo[:0], chunk, sc.countsArena())
+	} else {
+		hi, lo, err = lay.AppendSplit(sc.hi[:0], sc.lo[:0], chunk)
+	}
 	if err != nil {
 		return nil, ci, err
 	}
@@ -603,9 +632,12 @@ func compressChunk(chunk []byte, sv solver.Compressor, opts Options, lay bytespl
 			reuse = covered
 		}
 		if !reuse {
-			counts, err := freq.Histogram(hi)
-			if err != nil {
-				return nil, ci, err
+			counts := sc.counts
+			if !fused {
+				counts = sc.countsArena()
+				if err := freq.HistogramInto(counts, hi); err != nil {
+					return nil, ci, err
+				}
 			}
 			if len(hi) > 0 {
 				idx, err = freq.BuildIndex(counts)

@@ -114,15 +114,24 @@ func (o OverheadEntry) TracingOverheadPct() float64 {
 // PerfBaseline is the machine-readable result the benchperf command writes
 // to BENCH_throughput.json and CI sanity-checks.
 type PerfBaseline struct {
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	NumCPU    int         `json:"num_cpu"`
-	Elements  int         `json:"elements_per_dataset"`
-	Entries   []PerfEntry `json:"entries"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the live runtime.GOMAXPROCS(0) at measurement time —
+	// recorded separately from NumCPU because a capped runtime (cgroup
+	// quota, GOMAXPROCS env) makes the two diverge, and multi-core rows are
+	// only trustworthy against the effective value (absent in baselines
+	// recorded before multi-core measurement).
+	GOMAXPROCS int         `json:"gomaxprocs,omitempty"`
+	Elements   int         `json:"elements_per_dataset"`
+	Entries    []PerfEntry `json:"entries"`
 	// Overhead is the observability-layer cost measurement (absent in
 	// baselines recorded before the tracing layer existed).
 	Overhead *OverheadEntry `json:"observability_overhead,omitempty"`
+	// Multicore is the parallel-scaling section (absent in baselines
+	// recorded before the pipeline was measured).
+	Multicore *MulticoreBaseline `json:"multicore,omitempty"`
 }
 
 // ThroughputBaseline measures end-to-end compression/decompression
@@ -140,11 +149,12 @@ func ThroughputBaseline(cfg PerfConfig) (*PerfBaseline, error) {
 		datasets = PerfDatasets
 	}
 	base := &PerfBaseline{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Elements:  n,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Elements:   n,
 	}
 	for _, ds := range datasets {
 		spec, ok := datagen.ByName(ds)
@@ -516,6 +526,11 @@ func (b *PerfBaseline) Check() error {
 			if median != 0 && min > median*1.0001 {
 				return fmt.Errorf("experiments: overhead %s min %.0fns exceeds its median %.0fns", name, min, median)
 			}
+		}
+	}
+	if b.Multicore != nil {
+		if err := b.Multicore.Check(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active; wall-clock
+// throughput assertions are skipped because instrumentation inflates
+// compression CPU time by an order of magnitude.
+const raceEnabled = true

@@ -33,14 +33,38 @@ var (
 // The returned slice is indexed by sequence value and has SequenceSpace
 // entries.
 func Histogram(hi []byte) ([]uint32, error) {
-	if len(hi)%2 != 0 {
-		return nil, fmt.Errorf("%w: %d", ErrOddLength, len(hi))
-	}
 	counts := make([]uint32, SequenceSpace)
-	for i := 0; i < len(hi); i += 2 {
-		counts[binary.BigEndian.Uint16(hi[i:])]++
+	if err := HistogramInto(counts, hi); err != nil {
+		return nil, err
 	}
 	return counts, nil
+}
+
+// HistogramInto accumulates sequence counts into counts without allocating,
+// so a caller-owned flat counter arena can be recycled across chunks. counts
+// must have SequenceSpace entries; it is NOT cleared first — the caller owns
+// zeroing between chunks. The loop reads four sequences per uint64 load.
+func HistogramInto(counts []uint32, hi []byte) error {
+	if len(counts) != SequenceSpace {
+		return fmt.Errorf("freq: histogram size %d, want %d", len(counts), SequenceSpace)
+	}
+	if len(hi)%2 != 0 {
+		return fmt.Errorf("%w: %d", ErrOddLength, len(hi))
+	}
+	i := 0
+	for ; i+8 <= len(hi); i += 8 {
+		v := binary.LittleEndian.Uint64(hi[i:])
+		// Each 16-bit lane holds a big-endian sequence read little-endian:
+		// swap the bytes back while extracting.
+		counts[uint16(v)<<8|uint16(v)>>8]++
+		counts[uint16(v>>16)<<8|uint16(v>>16)>>8]++
+		counts[uint16(v>>32)<<8|uint16(v>>32)>>8]++
+		counts[uint16(v>>48)<<8|uint16(v>>48)>>8]++
+	}
+	for ; i < len(hi); i += 2 {
+		counts[binary.BigEndian.Uint16(hi[i:])]++
+	}
+	return nil
 }
 
 // Index is the bijective sequence<->ID mapping for one chunk.

@@ -1,0 +1,111 @@
+package freq
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramIntoMatchesScalar holds the word-at-a-time histogram to a
+// scalar reference count on every tail residue (0..3 trailing sequences past
+// the 4-per-load unroll) and on unaligned backing offsets.
+func TestHistogramIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n <= 37; n++ {
+		hi := make([]byte, n*2)
+		rng.Read(hi)
+
+		ref := make([]uint32, SequenceSpace)
+		for i := 0; i < len(hi); i += 2 {
+			ref[binary.BigEndian.Uint16(hi[i:])]++
+		}
+
+		counts := make([]uint32, SequenceSpace)
+		if err := HistogramInto(counts, hi); err != nil {
+			t.Fatal(err)
+		}
+		for s := range ref {
+			if counts[s] != ref[s] {
+				t.Fatalf("n=%d: count[%#04x] = %d, want %d", n, s, counts[s], ref[s])
+			}
+		}
+
+		// Unaligned view over an odd backing offset must agree too.
+		buf := make([]byte, len(hi)+1)
+		copy(buf[1:], hi)
+		clear(counts)
+		if err := HistogramInto(counts, buf[1:]); err != nil {
+			t.Fatal(err)
+		}
+		for s := range ref {
+			if counts[s] != ref[s] {
+				t.Fatalf("n=%d unaligned: count[%#04x] = %d, want %d", n, s, counts[s], ref[s])
+			}
+		}
+
+		// The allocating wrapper delegates to the same kernel.
+		viaAlloc, err := Histogram(hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range ref {
+			if viaAlloc[s] != ref[s] {
+				t.Fatalf("n=%d Histogram: count[%#04x] = %d, want %d", n, s, viaAlloc[s], ref[s])
+			}
+		}
+	}
+}
+
+// TestHistogramIntoAccumulates verifies counts are accumulated, not reset —
+// the contract callers rely on when zeroing the arena themselves.
+func TestHistogramIntoAccumulates(t *testing.T) {
+	counts := make([]uint32, SequenceSpace)
+	hi := []byte{0x01, 0x02, 0x01, 0x02}
+	if err := HistogramInto(counts, hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := HistogramInto(counts, hi); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0x0102] != 4 {
+		t.Fatalf("count = %d, want 4 after two passes", counts[0x0102])
+	}
+}
+
+func TestHistogramIntoErrors(t *testing.T) {
+	if err := HistogramInto(make([]uint32, 10), make([]byte, 4)); err == nil {
+		t.Fatal("short counts accepted")
+	}
+	if err := HistogramInto(make([]uint32, SequenceSpace), make([]byte, 3)); err == nil {
+		t.Fatal("odd input accepted")
+	}
+}
+
+func TestHistogramIntoAllocationFree(t *testing.T) {
+	hi := make([]byte, 8192)
+	rand.New(rand.NewSource(7)).Read(hi)
+	counts := make([]uint32, SequenceSpace)
+	allocs := testing.AllocsPerRun(10, func() {
+		clear(counts)
+		if err := HistogramInto(counts, hi); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("HistogramInto allocates %v times per run", allocs)
+	}
+}
+
+func BenchmarkHistogramInto(b *testing.B) {
+	hi := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(hi)
+	counts := make([]uint32, SequenceSpace)
+	b.SetBytes(int64(len(hi)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(counts)
+		if err := HistogramInto(counts, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"primacy/internal/core"
+)
+
+// TestDefaultShardGeometryWorkerInvariant pins the default shard size to a
+// pure function of chunk size: the same input must shard identically no
+// matter how many workers the machine has. The server's result cache drops
+// worker count from its key on the strength of this.
+func TestDefaultShardGeometryWorkerInvariant(t *testing.T) {
+	for _, total := range []int{0, 8, 8 << 10, 3 << 20, 10 << 20} {
+		var want int
+		for i, w := range []int{1, 2, 4, 7, 64} {
+			o := Options{Workers: w, Core: core.Options{ChunkBytes: 8 << 10}}
+			sb := o.shardBytes(total, 8)
+			if i == 0 {
+				want = sb
+				continue
+			}
+			if sb != want {
+				t.Fatalf("total=%d: shard size %d at %d workers, %d at 1 worker", total, sb, w, want)
+			}
+		}
+	}
+}
+
+// TestDefaultOutputBytesWorkerInvariant is the end-to-end version: with
+// ShardBytes left at its default, containers compressed at different worker
+// counts must be byte-identical.
+func TestDefaultOutputBytesWorkerInvariant(t *testing.T) {
+	raw := testData(40_000)
+	var want []byte
+	for i, w := range []int{1, 2, 5, 16} {
+		opts := Options{Workers: w, Core: core.Options{ChunkBytes: 16 << 10}}
+		enc := roundTrip(t, raw, opts)
+		if i == 0 {
+			want = enc
+			continue
+		}
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("%d workers produced different bytes than 1 worker", w)
+		}
+	}
+}
+
+// TestPooledCodecOutputStable guards the codec pool: back-to-back calls that
+// reuse warmed scratch arenas must keep emitting byte-identical containers.
+func TestPooledCodecOutputStable(t *testing.T) {
+	raw := testData(20_000)
+	opts := Options{Workers: 2, Core: core.Options{ChunkBytes: 8 << 10}}
+	first := roundTrip(t, raw, opts)
+	for i := 0; i < 3; i++ {
+		if again := roundTrip(t, raw, opts); !bytes.Equal(again, first) {
+			t.Fatalf("call %d diverged after pool reuse", i+2)
+		}
+	}
+}

@@ -58,8 +58,9 @@ type Options struct {
 	Core core.Options
 	// Workers caps concurrency (0 = GOMAXPROCS).
 	Workers int
-	// ShardBytes is the per-shard input size (0 = one chunk-multiple shard
-	// per worker, at least one chunk each).
+	// ShardBytes is the per-shard input size. 0 means one effective chunk
+	// per shard — a geometry that depends only on the input size and chunk
+	// size, so compressed output is byte-identical across worker counts.
 	ShardBytes int
 	// Governor, when non-nil, gates each shard's admission against a shared
 	// memory/concurrency budget: under a burst of large inputs workers queue
@@ -91,12 +92,23 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// codecPool recycles core.Codec scratch arenas across calls. Each worker
+// goroutine checks a codec out for its whole lifetime (shards never share
+// one concurrently) and returns it when the call completes, so a server
+// handling a stream of requests reuses warmed split/encode/solver buffers
+// instead of re-growing them per request.
+var codecPool = sync.Pool{New: func() any { return new(core.Codec) }}
+
 // shardBytes computes the per-shard input size, rounded to whole elements of
 // the configured precision (Float32 inputs shard on 4-byte elements, not 8).
-// The default (ShardBytes == 0) rounds each shard UP to a whole multiple of
-// the effective chunk size, so interior shards contain only full chunks and
-// sharding never manufactures runt chunks at shard seams that a sequential
-// core.Compress of the same input would not produce.
+// The default (ShardBytes == 0) is one effective chunk per shard: shard
+// geometry is then a pure function of input size and chunk size — never of
+// worker count — so the compressed container is byte-identical whether it was
+// produced by 1 worker or 64. The server's content-addressed result cache and
+// the cross-worker regression tests rely on this invariance; it also gives
+// the work queue enough shards for stragglers to balance. Interior shards are
+// whole chunks, so sharding never manufactures runt chunks at shard seams
+// that a sequential core.Compress of the same input would not produce.
 func (o Options) shardBytes(total, elemBytes int) int {
 	if o.ShardBytes > 0 {
 		// Round to whole elements.
@@ -116,15 +128,7 @@ func (o Options) shardBytes(total, elemBytes int) int {
 	if chunk < elemBytes {
 		chunk = elemBytes
 	}
-	w := o.workers()
-	sb := (total + w - 1) / w
-	if rem := sb % chunk; rem != 0 {
-		sb += chunk - rem
-	}
-	if sb < chunk {
-		sb = chunk
-	}
-	return sb
+	return chunk
 }
 
 // Compress compresses data using up to Workers goroutines. Each worker owns
@@ -276,7 +280,8 @@ func runShards(ctx context.Context, opts Options, op string, parent trace.Span, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var codec core.Codec
+			codec := codecPool.Get().(*core.Codec)
+			defer codecPool.Put(codec)
 			// With tracing on, label the worker goroutine so CPU profiles
 			// (-pprof-addr) attribute samples to stage and shard. The label
 			// set is rebuilt per shard; gated on the tracer so the untraced
@@ -288,7 +293,7 @@ func runShards(ctx context.Context, opts Options, op string, parent trace.Span, 
 					continue
 				}
 				run := func(ctx context.Context) {
-					if err := runShard(ctx, opts.Governor, &codec, i, parent, do, weight); err != nil {
+					if err := runShard(ctx, opts.Governor, codec, i, parent, do, weight); err != nil {
 						errs[i] = err
 						cancel()
 					}

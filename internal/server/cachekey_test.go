@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"primacy/internal/core"
+)
+
+// TestCompressBytesIdenticalAcrossWorkerCounts is the regression test backing
+// the cache-key fix: compressed output must not depend on the configured
+// worker count, so dropping Workers from the result-cache key can never serve
+// bytes another worker config would not have produced.
+func TestCompressBytesIdenticalAcrossWorkerCounts(t *testing.T) {
+	raw := testData(30_000, 11)
+	var want []byte
+	for i, w := range []int{1, 2, 4, 9} {
+		_, ts := newTestServer(t, Config{Workers: w, ChunkBytes: 16 * 1024})
+		resp, enc := post(t, ts.URL+"/v1/compress", raw, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: compress: %d %s", w, resp.StatusCode, enc)
+		}
+		if i == 0 {
+			want = enc
+			continue
+		}
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("workers=%d produced different container bytes than workers=1", w)
+		}
+	}
+}
+
+// TestCompressCacheKeyOmitsWorkers pins the key shape: two keys for the same
+// body and options are equal by construction (no worker component), so a
+// worker-config change between restarts cannot orphan warm entries.
+func TestCompressCacheKeyOmitsWorkers(t *testing.T) {
+	body := testData(100, 3)
+	opts := core.Options{Solver: "zlib", ChunkBytes: 4096}
+	if cacheKey("c", opts, body) != cacheKey("c", opts, body) {
+		t.Fatal("cache key is not a pure function of op, options, and content")
+	}
+}
+
+// TestDecompressCacheContentOnlyAcrossOptionVariants: the decompress cache is
+// addressed by content alone, so two requests for the same container with
+// different (irrelevant-to-decode) query options must share one entry AND
+// both return the correct plaintext — a stale-hit collision would surface
+// here as wrong bytes on the second variant.
+func TestDecompressCacheContentOnlyAcrossOptionVariants(t *testing.T) {
+	_, ts := newTestServer(t, Config{ChunkBytes: 8 * 1024})
+	raw := testData(10_000, 5)
+	resp, enc := post(t, ts.URL+"/v1/compress", raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, enc)
+	}
+
+	resp, dec := post(t, ts.URL+"/v1/decompress?solver=lzo", enc, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress variant 1: %d %s", resp.StatusCode, dec)
+	}
+	if resp.Header.Get(HeaderCache) != "miss" {
+		t.Fatalf("variant 1 cache = %q, want miss", resp.Header.Get(HeaderCache))
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatal("variant 1 returned wrong plaintext")
+	}
+
+	resp, dec2 := post(t, ts.URL+"/v1/decompress?solver=bzlib", enc, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress variant 2: %d %s", resp.StatusCode, dec2)
+	}
+	if resp.Header.Get(HeaderCache) != "hit" {
+		t.Fatalf("variant 2 cache = %q, want hit (content-only key)", resp.Header.Get(HeaderCache))
+	}
+	if !bytes.Equal(dec2, raw) {
+		t.Fatal("variant 2 served stale/wrong plaintext from the shared entry")
+	}
+}

@@ -310,10 +310,14 @@ func (s *Server) admit(req *request, weight int64) (func(), error) {
 // cacheKey addresses a work result by operation, options, and content
 // checksum. CRC32C comes from the same integrity layer that frames the
 // containers, so the cache key is free for data the codec will checksum
-// anyway.
-func cacheKey(op string, opts core.Options, workers int, body []byte) string {
-	return fmt.Sprintf("%s:%s:%d:%d:%d:%d:%08x:%d", op, opts.Solver, opts.ChunkBytes,
-		opts.Precond.Selection, opts.Precond.Transform, workers, checksum.Sum(body), len(body))
+// anyway. Worker count is deliberately NOT part of the key: compressed
+// output is byte-identical across worker counts (pipeline shard geometry
+// depends only on input and chunk size) and decompressed output is fully
+// determined by the container bytes, so keying on workers would only split
+// the cache and miss on config changes.
+func cacheKey(op string, opts core.Options, body []byte) string {
+	return fmt.Sprintf("%s:%s:%d:%d:%d:%08x:%d", op, opts.Solver, opts.ChunkBytes,
+		opts.Precond.Selection, opts.Precond.Transform, checksum.Sum(body), len(body))
 }
 
 func (s *Server) opCompress(req *request) (*response, error) {
@@ -327,17 +331,17 @@ func (s *Server) opCompress(req *request) (*response, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := cacheKey("c", opts, s.cfg.Workers, req.body)
+	key := cacheKey("c", opts, req.body)
 	out, outcome, err := s.cache.Do(req.ctx, key, func() ([]byte, error) {
 		release, err := s.admit(req, int64(len(req.body)))
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		if s.cfg.Workers > 1 {
-			return pipeline.CompressCtx(req.ctx, req.body, pipeline.Options{Core: opts, Workers: s.cfg.Workers})
-		}
-		return core.CompressCtx(req.ctx, req.body, opts)
+		// Always the pipeline, even at Workers==1: one code path, one
+		// container format, and pooled per-worker codec arenas reused across
+		// requests. Output bytes do not depend on the worker count.
+		return pipeline.CompressCtx(req.ctx, req.body, pipeline.Options{Core: opts, Workers: s.cfg.Workers})
 	})
 	if err != nil {
 		return nil, err
@@ -360,7 +364,12 @@ func (s *Server) opDecompress(req *request) (*response, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := cacheKey("d", core.Options{}, s.cfg.Workers, req.body)
+	// Decompress results are addressed by content alone (zero Options): the
+	// output is fully determined by the container bytes — core and stream
+	// readers take no options, and pipeline options only steer concurrency —
+	// so keying on the request's parsed opts would needlessly split the
+	// cache across ?solver=/?chunk= variants that decode identically.
+	key := cacheKey("d", core.Options{}, req.body)
 	out, outcome, err := s.cache.Do(req.ctx, key, func() ([]byte, error) {
 		release, err := s.admit(req, int64(len(req.body)))
 		if err != nil {

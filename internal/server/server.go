@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,9 +41,11 @@ type Config struct {
 	Solver string
 	// ChunkBytes is the codec chunk size (codec default when 0).
 	ChunkBytes int
-	// Workers is the per-request pipeline width; 1 (default) keeps requests
-	// sequential so concurrency comes from request parallelism, which the
-	// admitter governs.
+	// Workers is the per-request pipeline width; 0 (default) tracks
+	// runtime.GOMAXPROCS(0) so a request uses the cores the machine has.
+	// Set 1 to keep requests sequential when concurrency should come only
+	// from request parallelism, which the admitter governs. Output bytes
+	// never depend on this value.
 	Workers int
 
 	// MemBudget, MaxConcurrent, MaxQueuedPerTenant, MaxQueued, and
@@ -94,7 +97,7 @@ func (c Config) withDefaults() Config {
 		c.Solver = "zlib"
 	}
 	if c.Workers <= 0 {
-		c.Workers = 1
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second

@@ -18,6 +18,7 @@ import (
 	"primacy/internal/bytesplit"
 	"primacy/internal/core"
 	"primacy/internal/faultinject"
+	"primacy/internal/pipeline"
 	"primacy/internal/telemetry"
 )
 
@@ -137,15 +138,21 @@ func TestCompressPrecondParam(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compress: %d %s", resp.StatusCode, plain)
 	}
-	if string(plain[:4]) != "PRM2" {
-		t.Fatalf("plain compress magic %q, want PRM2", plain[:4])
+	// Compress always emits the parallel container; the embedded first shard
+	// (offset 16: outer magic+count then the shard's len+crc frame) carries
+	// the core container whose version reflects the options.
+	if string(plain[:4]) != "PRP2" {
+		t.Fatalf("plain compress magic %q, want PRP2", plain[:4])
+	}
+	if string(plain[16:20]) != "PRM2" {
+		t.Fatalf("plain first shard magic %q, want PRM2", plain[16:20])
 	}
 	resp, enc := post(t, ts.URL+"/v1/compress?precond=aposteriori", raw, nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("precond compress: %d %s", resp.StatusCode, enc)
 	}
-	if string(enc[:4]) != "PRM3" {
-		t.Fatalf("precond compress magic %q, want PRM3", enc[:4])
+	if string(enc[16:20]) != "PRM3" {
+		t.Fatalf("precond first shard magic %q, want PRM3", enc[16:20])
 	}
 	// Same body, different precond mode: must not be served from the plain
 	// entry's cache slot.
@@ -467,7 +474,7 @@ func TestPoisonedPayloadDegradesInsteadOfKilling(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("poisoned compress: %d %s", resp.StatusCode, enc)
 	}
-	dec, err := core.Decompress(enc)
+	dec, err := pipeline.Decompress(enc, pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
