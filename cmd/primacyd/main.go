@@ -12,6 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,11 +51,22 @@ func run(args []string) int {
 		compactN  = fs.Int("compact-every", 0, "seal a tenant's journal after this many puts (0: store default, negative: disable auto-compaction)")
 		drainT    = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight requests before cancelling them")
 		quiet     = fs.Bool("quiet", false, "suppress the telemetry dump on exit")
+		logFormat = fs.String("log-format", "json", "structured log format: json or text")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		slowMs    = fs.Int64("slow-request-ms", 2000, "log a warn line with the span tree for requests slower than this (0: disable)")
+		sloTarget = fs.Duration("slo-target", 0, "SLO latency target for a request to count good (0: 1s)")
+		sloWindow = fs.Duration("slo-window", 0, "rolling SLO accounting window (0: 5m)")
+		sloBudget = fs.Float64("slo-error-budget", 0, "tolerated bad-request fraction (0: 0.01)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	tenantWeights, err := parseWeights(*weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "primacyd: %v\n", err)
+		return 2
+	}
+	logger, err := buildLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "primacyd: %v\n", err)
 		return 2
@@ -66,6 +78,13 @@ func run(args []string) int {
 	metrics := primacy.NewMetrics()
 	primacy.EnableTelemetry(metrics)
 	defer primacy.EnableTelemetry(nil)
+
+	// One process-wide flight recorder: request spans from the server nest
+	// admission/codec spans recorded through the facade, and /statusz shows
+	// the anomaly tail.
+	tracer := primacy.NewTracer(primacy.TraceConfig{})
+	primacy.EnableTracing(tracer)
+	defer primacy.EnableTracing(nil)
 
 	srv, err := server.New(server.Config{
 		Solver:             *solver,
@@ -84,6 +103,14 @@ func run(args []string) int {
 		NoFsync:            !*fsync,
 		CompactEvery:       *compactN,
 		Metrics:            metrics,
+		Logger:             logger,
+		Tracer:             tracer,
+		SlowRequest:        time.Duration(*slowMs) * time.Millisecond,
+		SLO: server.SLOConfig{
+			Target:      *sloTarget,
+			Window:      *sloWindow,
+			ErrorBudget: *sloBudget,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "primacyd: %v\n", err)
@@ -152,6 +179,33 @@ func run(args []string) int {
 	}
 	fmt.Fprintln(os.Stderr, "primacyd: drained clean")
 	return 0
+}
+
+// buildLogger constructs the process logger on stderr in the requested
+// format and level.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want json or text)", format)
+	}
 }
 
 // parseWeights parses "a=3,b=1" into tenant weight overrides.

@@ -183,6 +183,14 @@ func drive(cfg driverConfig) error {
 			pt.Clients, pt.OK, pt.Shed, pt.P50Ms, pt.P99Ms, pt.ThroughputMBps, pt.ShedRate)
 	}
 
+	if srv != nil {
+		report.SLO = srv.SLOReport()
+		for _, rt := range report.SLO.Routes {
+			fmt.Fprintf(os.Stderr, "primacyload: slo route=%s good=%d total=%d burn=%.2f\n",
+				rt.Route, rt.Good, rt.Total, rt.BurnRate)
+		}
+	}
+
 	if srv != nil && cfg.drain {
 		dr, err := rehearseDrain(client, base, cfg, srv)
 		if err != nil {
@@ -218,6 +226,10 @@ func drive(cfg driverConfig) error {
 	return os.WriteFile(cfg.out, enc, 0o644)
 }
 
+// retriedIDSample caps how many retried request IDs each sweep point keeps —
+// enough to join a few server-side retry chains without bloating the report.
+const retriedIDSample = 8
+
 // sweepPoint runs one concurrency level and folds the outcomes.
 func sweepPoint(client *http.Client, base string, cfg driverConfig, clients int) (server.SaturationPoint, error) {
 	var (
@@ -237,8 +249,9 @@ func sweepPoint(client *http.Client, base string, cfg driverConfig, clients int)
 			for r := 0; r < cfg.requests; r++ {
 				tn := pickTenant(rng)
 				body := payload(rng, cfg.payloadVal)
+				reqID := fmt.Sprintf("load-%d.%dc.%d.%d", cfg.seed, clients, c, r)
 				t0 := time.Now()
-				status, n := postCompress(client, base, cfg, tn, body, rng)
+				status, n := postCompress(client, base, cfg, tn, reqID, body, rng)
 				ms := float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				switch {
@@ -257,19 +270,26 @@ func sweepPoint(client *http.Client, base string, cfg driverConfig, clients int)
 					pt.Errors++
 				}
 				pt.Retried += n
+				if n > 0 && len(pt.RetriedIDs) < retriedIDSample {
+					pt.RetriedIDs = append(pt.RetriedIDs, reqID)
+				}
 				mu.Unlock()
 			}
 		}(c)
 	}
 	wg.Wait()
+	sort.Strings(pt.RetriedIDs)
 	return server.SummarizePoint(clients, lats, okBytes, time.Since(start).Seconds(), pt), nil
 }
 
 var errShed = fmt.Errorf("shed with 429")
 
 // postCompress sends one compress request, retrying 429s with full-jitter
-// backoff. Returns the final status and how many retries were spent.
-func postCompress(client *http.Client, base string, cfg driverConfig, tenant string, body []byte, rng *rand.Rand) (int, int64) {
+// backoff. Every attempt of the logical request carries the same
+// X-Primacy-Request-Id, so server-side access logs show the whole retry
+// chain under one ID. Returns the final status and how many retries were
+// spent.
+func postCompress(client *http.Client, base string, cfg driverConfig, tenant, reqID string, body []byte, rng *rand.Rand) (int, int64) {
 	var status int
 	var retried int64
 	p := retry.Policy{
@@ -286,6 +306,7 @@ func postCompress(client *http.Client, base string, cfg driverConfig, tenant str
 			return nil
 		}
 		req.Header.Set("X-Primacy-Tenant", tenant)
+		req.Header.Set(server.HeaderRequestID, reqID)
 		req.Header.Set("X-Primacy-Deadline-Ms", strconv.Itoa(cfg.deadlineMs))
 		resp, err := client.Do(req)
 		if err != nil {
@@ -324,8 +345,9 @@ func rehearseDrain(client *http.Client, base string, cfg driverConfig, srv *serv
 	rng := rand.New(rand.NewSource(cfg.seed * 7919))
 	for i := 0; i < inflight; i++ {
 		body := payload(rng, cfg.payloadVal)
+		reqID := fmt.Sprintf("drain-%d.%d", cfg.seed, i)
 		go func() {
-			st, _ := postCompress(client, base, cfg, "batch", body, rand.New(rand.NewSource(1)))
+			st, _ := postCompress(client, base, cfg, "batch", reqID, body, rand.New(rand.NewSource(1)))
 			results <- st
 		}()
 	}
@@ -365,7 +387,7 @@ func rehearseDrain(client *http.Client, base string, cfg driverConfig, srv *serv
 		}
 	}
 	// New work must be refused while drained.
-	st, _ := postCompress(client, base, cfg, "batch", payload(rng, 64), rand.New(rand.NewSource(2)))
+	st, _ := postCompress(client, base, cfg, "batch", "drain-probe", payload(rng, 64), rand.New(rand.NewSource(2)))
 	if st == http.StatusServiceUnavailable {
 		dr.Refused++
 	} else {

@@ -62,7 +62,7 @@ func EnableTelemetry(r *telemetry.Registry) {
 			"Chunks written with the "+name+" preconditioner transform.")
 	}
 	tmet.Store(&coreMetrics{
-		precondSelected: precondSel,
+		precondSelected:  precondSel,
 		chunks:           r.Counter("primacy_core_chunks_total", "Chunks compressed."),
 		degraded:         r.Counter("primacy_core_degraded_chunks_total", "Chunks stored raw after a solver fault."),
 		rawBytes:         r.Counter("primacy_core_raw_bytes_total", "Input bytes compressed."),

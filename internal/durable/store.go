@@ -579,14 +579,24 @@ func (s *Store) appendJournal(ts *tenantState, name string, step uint32, values 
 		s.repairJournal(ts)
 		return fmt.Errorf("durable: journal append: %w", err)
 	}
+	m := tmet.Load()
+	var syncStart time.Time
+	if m != nil && s.fsync {
+		syncStart = time.Now()
+	}
 	if err := s.maybeSync(ts.journal); err != nil {
 		s.repairJournal(ts)
 		return fmt.Errorf("durable: journal fsync: %w", err)
 	}
 	ts.journalLen += int64(len(ts.scratch))
-	if m := tmet.Load(); m != nil {
+	if m != nil {
 		m.journalAppends.Inc()
 		m.journalBytes.Add(int64(len(ts.scratch)))
+		m.appendsByTenant.With(ts.name).Inc()
+		m.bytesByTenant.With(ts.name).Add(int64(len(ts.scratch)))
+		if s.fsync {
+			m.fsyncByTenant.With(ts.name).Observe(time.Since(syncStart).Seconds())
+		}
 	}
 	return nil
 }
@@ -699,9 +709,11 @@ func (s *Store) compact(ts *tenantState) (err error) {
 		if m != nil {
 			if err != nil {
 				m.compactFailures.Inc()
+				m.compactByTenant.With(ts.name, "error").Inc()
 			} else {
 				m.compactions.Inc()
 				m.compactSeconds.Observe(time.Since(t0).Seconds())
+				m.compactByTenant.With(ts.name, "ok").Inc()
 			}
 		}
 	}()

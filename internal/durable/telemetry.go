@@ -23,6 +23,14 @@ type durMetrics struct {
 	tornTailBytes   *telemetry.Counter
 	salvagedSeals   *telemetry.Counter
 	droppedSealed   *telemetry.Counter
+
+	// Per-tenant vectors (bounded cardinality; hot tenants past the cap
+	// collapse into the "other" bucket). The unlabeled metrics above stay
+	// authoritative for totals; the vectors attribute the same work.
+	appendsByTenant *telemetry.CounterVec
+	bytesByTenant   *telemetry.CounterVec
+	fsyncByTenant   *telemetry.HistogramVec
+	compactByTenant *telemetry.CounterVec
 }
 
 var tmet atomic.Pointer[durMetrics]
@@ -48,5 +56,14 @@ func EnableTelemetry(r *telemetry.Registry) {
 		tornTailBytes:   r.Counter("primacy_durable_torn_tail_bytes_total", "Journal tail bytes truncated at recovery."),
 		salvagedSeals:   r.Counter("primacy_durable_salvaged_segments_total", "Sealed segments routed through the archive salvage decoder at recovery."),
 		droppedSealed:   r.Counter("primacy_durable_dropped_sealed_total", "Sealed entries unrecoverable even after salvage."),
+
+		appendsByTenant: r.CounterVec("primacy_durable_tenant_journal_appends_total",
+			"Journal appends attributed to a tenant.", []string{"tenant"}),
+		bytesByTenant: r.CounterVec("primacy_durable_tenant_journal_bytes_total",
+			"Framed journal bytes attributed to a tenant.", []string{"tenant"}),
+		fsyncByTenant: r.HistogramVec("primacy_durable_tenant_fsync_seconds",
+			"Journal fsync wall time on a tenant's put path.", []string{"tenant"}, nil),
+		compactByTenant: r.CounterVec("primacy_durable_tenant_compactions_total",
+			"Compactions attributed to a tenant, by outcome.", []string{"tenant", "outcome"}),
 	})
 }

@@ -27,7 +27,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"primacy/internal/telemetry"
 	"primacy/internal/trace"
@@ -256,11 +258,19 @@ func (a *Admitter) shedOldestLocked(m *metrics) *waiter {
 // ctx.Err() when the caller gives up. Every nil return must be paired with a
 // Release of the same weight. A nil Admitter admits immediately.
 func (a *Admitter) Acquire(ctx context.Context, tenantName string, bytes int64) error {
+	_, err := a.AcquireMeasured(ctx, tenantName, bytes)
+	return err
+}
+
+// AcquireMeasured is Acquire plus the time the request spent queued behind
+// the fair-share gate — zero on the fast-grant path (no clock read). The
+// server splits request latency into queue wait vs. work time with it.
+func (a *Admitter) AcquireMeasured(ctx context.Context, tenantName string, bytes int64) (wait time.Duration, err error) {
 	if err := ctx.Err(); err != nil {
-		return err
+		return 0, err
 	}
 	if a == nil {
-		return nil
+		return 0, nil
 	}
 	m := tmet.Load()
 	bytes = a.clamp(bytes)
@@ -277,7 +287,7 @@ func (a *Admitter) Acquire(ctx context.Context, tenantName string, bytes int64) 
 		if m != nil {
 			m.rejected.Inc()
 		}
-		return fmt.Errorf("%w (tenant %q, %d queued)", ErrQueueFull, tenantName, a.cfg.MaxQueuedPerTenant)
+		return 0, fmt.Errorf("%w (tenant %q, %d queued)", ErrQueueFull, tenantName, a.cfg.MaxQueuedPerTenant)
 	}
 	if !ok {
 		a.tenants[tenantName] = t
@@ -304,14 +314,15 @@ func (a *Admitter) Acquire(ctx context.Context, tenantName string, bytes int64) 
 		if m != nil {
 			m.admitted.Inc()
 		}
-		return nil
+		return 0, nil
 	}
 	if shedded {
-		return fmt.Errorf("%w (tenant %q)", ErrShed, tenantName)
+		return 0, fmt.Errorf("%w (tenant %q)", ErrShed, tenantName)
 	}
 	if m != nil {
 		m.blocked.Inc()
 	}
+	waitStart := time.Now()
 	var sp telemetry.Span
 	if m != nil {
 		sp = m.waitSeconds.Start()
@@ -321,18 +332,20 @@ func (a *Admitter) Acquire(ctx context.Context, tenantName string, bytes int64) 
 	ts.Event(trace.KindGovernorWait, "admission blocked on fair-share budget")
 	select {
 	case <-w.ready:
+		wait = time.Since(waitStart)
 		sp.End()
 		if w.shed {
 			ts.Anomaly(trace.KindGovernorCancelled, "queued request shed under overload")
 			ts.End(ErrShed)
-			return fmt.Errorf("%w (tenant %q)", ErrShed, tenantName)
+			return wait, fmt.Errorf("%w (tenant %q)", ErrShed, tenantName)
 		}
 		if m != nil {
 			m.admitted.Inc()
 		}
 		ts.End(nil)
-		return nil
+		return wait, nil
 	case <-ctx.Done():
+		wait = time.Since(waitStart)
 		a.mu.Lock()
 		if w.granted {
 			// A grant raced the cancellation; hand the capacity back before
@@ -345,14 +358,14 @@ func (a *Admitter) Acquire(ctx context.Context, tenantName string, bytes int64) 
 			sp.End()
 			ts.Anomaly(trace.KindGovernorCancelled, "wait cancelled after grant raced cancellation")
 			ts.End(ctx.Err())
-			return ctx.Err()
+			return wait, ctx.Err()
 		}
 		if w.shed {
 			a.mu.Unlock()
 			sp.End()
 			ts.Anomaly(trace.KindGovernorCancelled, "queued request shed under overload")
 			ts.End(ErrShed)
-			return fmt.Errorf("%w (tenant %q)", ErrShed, tenantName)
+			return wait, fmt.Errorf("%w (tenant %q)", ErrShed, tenantName)
 		}
 		a.removeLocked(w)
 		a.mu.Unlock()
@@ -363,7 +376,7 @@ func (a *Admitter) Acquire(ctx context.Context, tenantName string, bytes int64) 
 		sp.End()
 		ts.Anomaly(trace.KindGovernorCancelled, "wait cancelled before admission")
 		ts.End(ctx.Err())
-		return ctx.Err()
+		return wait, ctx.Err()
 	}
 }
 
@@ -411,6 +424,45 @@ func (a *Admitter) Queued(tenantName string) (total, forTenant int) {
 		forTenant = len(t.queue)
 	}
 	return a.queued, forTenant
+}
+
+// TenantLoad is one backlogged tenant's live queue state, as reported by
+// Tenants for the /statusz ops console.
+type TenantLoad struct {
+	Name        string
+	Weight      int
+	Queued      int
+	QueuedBytes int64
+	// VTime is the tenant's virtual finish time relative to the scheduler
+	// clock; the smallest backlogged VTime is served next.
+	VTime float64
+}
+
+// Tenants snapshots the currently-backlogged tenants, sorted by name. Idle
+// tenants are absent by design — the admitter forgets a tenant the moment
+// its queue drains, so this is queue state, not an account roster.
+func (a *Admitter) Tenants() []TenantLoad {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	out := make([]TenantLoad, 0, len(a.tenants))
+	for _, t := range a.tenants {
+		var qb int64
+		for _, w := range t.queue {
+			qb += w.bytes
+		}
+		out = append(out, TenantLoad{
+			Name:        t.name,
+			Weight:      int(t.weight),
+			Queued:      len(t.queue),
+			QueuedBytes: qb,
+			VTime:       t.vtime - a.clock,
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Overloaded reports whether the gate is saturated (work would queue right

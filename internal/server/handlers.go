@@ -18,6 +18,7 @@ import (
 	"primacy/internal/precond"
 	"primacy/internal/solver"
 	"primacy/internal/stream"
+	"primacy/internal/trace"
 )
 
 // Request/response headers.
@@ -54,17 +55,27 @@ func (s *Server) routes() {
 		}
 		io.WriteString(w, "ready\n")
 	})
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	if s.cfg.Metrics != nil {
 		s.mux.Handle("GET /metrics", s.cfg.Metrics.MetricsHandler())
 	}
 }
 
-// request carries one admitted work request through its operation.
+// request carries one admitted work request through its operation, plus the
+// per-request observability state observe() reads at completion.
 type request struct {
 	ctx    context.Context
 	tenant string
 	body   []byte
 	r      *http.Request
+
+	id      string // request ID (header-honored or generated)
+	route   string
+	traceID string        // inbound W3C trace ID, "" when absent
+	bytesIn int64         // request body bytes read
+	wait    time.Duration // fair-share admission queue wait
+	resp    *response     // operation result, nil on early refusal
+	err     error         // operation error, nil on success or early refusal
 }
 
 // response is what an operation produced.
@@ -96,12 +107,22 @@ func badRequest(msg string, err error) *httpError {
 
 // work wraps an operation with the request-robustness envelope: panic
 // isolation, drain refusal, in-flight accounting, deadline propagation, body
-// bounding, and fair-share admission. The envelope owns every status-code
-// decision so the operations only speak in data and errors.
+// bounding, and fair-share admission — plus the per-request observability
+// scope (request ID, span, labeled metrics, access log; see obs.go). The
+// envelope owns every status-code decision so the operations only speak in
+// data and errors.
 func (s *Server) work(name string, op func(*request) (*response, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.met.requests.Inc()
 		started := time.Now()
+		req, span := s.beginRequest(w, r, name)
+		sw := &statusWriter{ResponseWriter: w}
+
+		// Join the in-flight group before anything can write a response:
+		// observe() runs (LIFO) before Done, so a drain cannot return until
+		// every accepted request has flushed its log line and metrics.
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		defer s.observe(sw, req, span, started)
 		defer func() {
 			// A handler panic must never take down the service: recover,
 			// count it, and fail only this request. (Solver panics never
@@ -109,54 +130,46 @@ func (s *Server) work(name string, op func(*request) (*response, error)) http.Ha
 			if rec := recover(); rec != nil {
 				s.met.panics.Inc()
 				s.met.serverErr.Inc()
-				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+				http.Error(sw, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
 			}
 		}()
 		if s.draining.Load() {
-			s.refuseDraining(w)
-			return
-		}
-		s.inflight.Add(1)
-		defer s.inflight.Done()
-		// Re-check after joining the in-flight group: a drain that started
-		// in between must not accept new work it then has to wait for.
-		if s.draining.Load() {
-			s.refuseDraining(w)
+			s.refuseDraining(sw)
 			return
 		}
 
 		ctx, cancel, err := s.requestContext(r)
 		if err != nil {
 			s.met.clientErr.Inc()
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(sw, err.Error(), http.StatusBadRequest)
 			return
 		}
 		defer cancel()
+		// Carry the request span in the context so admission and codec spans
+		// nest under it automatically.
+		req.ctx = trace.ContextWithSpan(ctx, span)
 
-		tenant := r.Header.Get(HeaderTenant)
-		if tenant == "" {
-			tenant = "anonymous"
-		}
-
-		var body []byte
 		if r.Method == http.MethodPost {
-			body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+			body, err := io.ReadAll(http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes))
 			if err != nil {
 				var mbe *http.MaxBytesError
 				if errors.As(err, &mbe) {
 					s.met.clientErr.Inc()
-					http.Error(w, fmt.Sprintf("body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+					http.Error(sw, fmt.Sprintf("body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
 					return
 				}
 				// Client went away or stalled past its deadline mid-upload.
 				s.met.clientErr.Inc()
-				http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+				http.Error(sw, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
 				return
 			}
+			req.body = body
+			req.bytesIn = int64(len(body))
 		}
 
-		resp, err := op(&request{ctx: ctx, tenant: tenant, body: body, r: r})
-		s.finish(w, resp, err, started)
+		resp, err := op(req)
+		req.resp, req.err = resp, err
+		s.finish(sw, resp, err)
 	}
 }
 
@@ -189,8 +202,7 @@ func (s *Server) refuseDraining(w http.ResponseWriter) {
 // finish maps an operation outcome to the response wire: explicit overload
 // (429), drain (503), deadline (504), client faults (4xx), everything else
 // (500) — never a silent hang.
-func (s *Server) finish(w http.ResponseWriter, resp *response, err error, started time.Time) {
-	s.met.latency.Observe(time.Since(started).Seconds())
+func (s *Server) finish(w http.ResponseWriter, resp *response, err error) {
 	if err == nil {
 		s.met.ok.Inc()
 		if resp.cached {
@@ -299,9 +311,15 @@ func (s *Server) codecOptions(r *http.Request) (core.Options, error) {
 	return opts, nil
 }
 
-// admit reserves fair-share capacity for the request and returns the release.
+// admit reserves fair-share capacity for the request and returns the
+// release, accumulating the admission queue wait on the request so observe()
+// can split total latency into queue wait vs. work time. The single-flight
+// leader runs this on its own goroutine, so the write is race-free;
+// followers never admit and report zero wait.
 func (s *Server) admit(req *request, weight int64) (func(), error) {
-	if err := s.adm.Acquire(req.ctx, req.tenant, weight); err != nil {
+	wait, err := s.adm.AcquireMeasured(req.ctx, req.tenant, weight)
+	req.wait += wait
+	if err != nil {
 		return nil, err
 	}
 	return func() { s.adm.Release(weight) }, nil

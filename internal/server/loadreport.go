@@ -16,7 +16,29 @@ type LoadReport struct {
 	Config      LoadConfig        `json:"config"`
 	Points      []SaturationPoint `json:"points"`
 	Drain       DrainReport       `json:"drain"`
+	SLO         SLOReport         `json:"slo,omitzero"`
 	Crash       CrashReport       `json:"crash,omitzero"`
+}
+
+// SLOReport is the server's rolling SLO state at the end of the sweep, as
+// recorded by the in-process driver. It proves the SLO surface saw the same
+// traffic the driver offered: the "compress" route must account for every
+// successful request plus the server-side failures and sheds.
+type SLOReport struct {
+	Performed   bool             `json:"performed"`
+	TargetMs    float64          `json:"target_ms"`
+	WindowS     float64          `json:"window_s"`
+	ErrorBudget float64          `json:"error_budget"`
+	Routes      []SLORouteReport `json:"routes"`
+}
+
+// SLORouteReport is one route's window counts from the SLO tracker.
+type SLORouteReport struct {
+	Route       string  `json:"route"`
+	Good        int64   `json:"good"`
+	Total       int64   `json:"total"`
+	BadFraction float64 `json:"bad_fraction"`
+	BurnRate    float64 `json:"burn_rate"`
 }
 
 // LoadConfig summarizes the driver parameters behind a report.
@@ -63,6 +85,11 @@ type SaturationPoint struct {
 	// TenantOK counts successful requests per tenant — under saturation the
 	// ratios should track admission weights, not offered load.
 	TenantOK map[string]int64 `json:"tenant_ok"`
+	// RetriedIDs samples the request IDs of logical requests that spent at
+	// least one retry. Each logical request carries one X-Primacy-Request-Id
+	// across all its attempts, so these IDs join the driver's view to the
+	// server's access-log shed/retry chains.
+	RetriedIDs []string `json:"retried_ids,omitempty"`
 }
 
 // DrainReport is the outcome of the driver's mid-run SIGTERM rehearsal.
@@ -148,12 +175,42 @@ func (r *LoadReport) Check() error {
 		if tenantOK != p.OK {
 			return fmt.Errorf("point %d (clients=%d): tenant OK sum %d != OK %d", i, p.Clients, tenantOK, p.OK)
 		}
+		if len(p.RetriedIDs) > 0 && p.Retried == 0 {
+			return fmt.Errorf("point %d (clients=%d): retried IDs recorded but no retries counted", i, p.Clients)
+		}
 	}
 	if !sort.SliceIsSorted(r.Points, func(a, b int) bool { return r.Points[a].Clients < r.Points[b].Clients }) {
 		return fmt.Errorf("saturation points not ordered by client count")
 	}
 	if r.Drain.Performed && !r.Drain.Clean {
 		return fmt.Errorf("recorded drain was dirty: requests were abandoned, not cancelled")
+	}
+	if s := r.SLO; s.Performed {
+		if s.TargetMs <= 0 || s.WindowS <= 0 || s.ErrorBudget <= 0 {
+			return fmt.Errorf("slo section missing target/window/budget parameters")
+		}
+		if len(s.Routes) == 0 {
+			return fmt.Errorf("slo section recorded no routes")
+		}
+		sawCompress := false
+		for _, rt := range s.Routes {
+			if rt.Route == "compress" {
+				sawCompress = true
+			}
+			if rt.Total <= 0 || rt.Good < 0 || rt.Good > rt.Total {
+				return fmt.Errorf("slo route %q: inconsistent counts good=%d total=%d", rt.Route, rt.Good, rt.Total)
+			}
+			wantBad := float64(rt.Total-rt.Good) / float64(rt.Total)
+			if math.Abs(rt.BadFraction-wantBad) > 1e-9 {
+				return fmt.Errorf("slo route %q: bad fraction %.6f != (total-good)/total %.6f", rt.Route, rt.BadFraction, wantBad)
+			}
+			if math.Abs(rt.BurnRate-wantBad/s.ErrorBudget) > 1e-6 {
+				return fmt.Errorf("slo route %q: burn rate %.4f != bad fraction / error budget", rt.Route, rt.BurnRate)
+			}
+		}
+		if !sawCompress {
+			return fmt.Errorf("slo section has no compress route; the sweep traffic was not tracked")
+		}
 	}
 	if c := r.Crash; c.Performed {
 		if c.Rounds <= 0 || c.Acked == 0 {

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"primacy/internal/telemetry"
+	"primacy/internal/trace"
+)
+
+// syncBuffer is a concurrency-safe log sink for slog handlers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// lines parses every complete JSON log line written so far.
+func (b *syncBuffer) lines(t *testing.T) []map[string]any {
+	t.Helper()
+	b.mu.Lock()
+	raw := b.buf.String()
+	b.mu.Unlock()
+	var out []map[string]any
+	for _, ln := range bytes.Split([]byte(raw), []byte("\n")) {
+		if len(bytes.TrimSpace(ln)) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(ln, &m); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", ln, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// findLine returns the first log line with the given msg and request_id
+// ("" matches any request_id).
+func findLine(lines []map[string]any, msg, requestID string) map[string]any {
+	for _, m := range lines {
+		if m["msg"] != msg {
+			continue
+		}
+		if requestID != "" && m["request_id"] != requestID {
+			continue
+		}
+		return m
+	}
+	return nil
+}
+
+func obsTestServer(t *testing.T, cfg Config) (*Server, string, *telemetry.Registry, *trace.Tracer, *syncBuffer) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tr := trace.New(trace.Config{})
+	buf := &syncBuffer{}
+	cfg.Metrics = reg
+	cfg.Tracer = tr
+	cfg.Logger = slog.New(slog.NewJSONHandler(buf, nil))
+	s, ts := newTestServer(t, cfg)
+	return s, ts.URL, reg, tr, buf
+}
+
+// The acceptance path, end to end: one request carrying a tenant, a request
+// ID, and W3C trace context must surface (a) a JSON access-log line with the
+// ID, tenant, route, status, and the queue-wait/work split, (b) labeled
+// route+tenant metric samples whose family sum matches the unlabeled
+// primacyd_request_seconds count, and (c) a flight-recorder span carrying the
+// same request ID — all joined by that one ID.
+func TestRequestObservabilityEndToEnd(t *testing.T) {
+	_, url, reg, tr, buf := obsTestServer(t, Config{})
+	const (
+		reqID   = "e2e-req-001"
+		traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+		parent  = "00f067aa0ba902b7"
+	)
+	raw := testData(4_000, 42)
+	resp, body := post(t, url+"/v1/compress", raw, map[string]string{
+		HeaderTenant:      "acme",
+		HeaderRequestID:   reqID,
+		HeaderTraceparent: "00-" + traceID + "-" + parent + "-01",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(HeaderRequestID); got != reqID {
+		t.Fatalf("response request ID = %q, want the honored %q", got, reqID)
+	}
+	// A client-side 4xx must be observed through the same funnel.
+	resp, _ = post(t, url+"/v1/compress", []byte{1, 2, 3}, nil)
+	if resp.StatusCode/100 != 4 {
+		t.Fatalf("odd-length compress: %d, want 4xx", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderRequestID) == "" {
+		t.Error("4xx response missing a generated request ID")
+	}
+
+	// (a) The access-log line.
+	line := findLine(buf.lines(t), "request", reqID)
+	if line == nil {
+		t.Fatalf("no access-log line for %s in:\n%s", reqID, &buf.buf)
+	}
+	if line["tenant"] != "acme" || line["route"] != "compress" {
+		t.Errorf("access log tenant/route = %v/%v, want acme/compress", line["tenant"], line["route"])
+	}
+	if st, ok := line["status"].(float64); !ok || int(st) != http.StatusOK {
+		t.Errorf("access log status = %v, want 200", line["status"])
+	}
+	if line["trace_id"] != traceID {
+		t.Errorf("access log trace_id = %v, want %s", line["trace_id"], traceID)
+	}
+	for _, key := range []string{"queue_wait_ms", "work_ms", "total_ms", "bytes_in", "bytes_out"} {
+		if _, ok := line[key].(float64); !ok {
+			t.Errorf("access log missing %s: %v", key, line)
+		}
+	}
+	if bi, _ := line["bytes_in"].(float64); int(bi) != len(raw) {
+		t.Errorf("access log bytes_in = %v, want %d", line["bytes_in"], len(raw))
+	}
+
+	// (b) Labeled metrics, and the labeled/unlabeled latency invariant.
+	snap := reg.Snapshot()
+	if n := snap.LabeledCounterSum("primacyd_requests_total",
+		telemetry.LabelPair{Name: "route", Value: "compress"},
+		telemetry.LabelPair{Name: "tenant", Value: "acme"},
+	); n != 1 {
+		t.Errorf("labeled requests for compress/acme = %d, want 1", n)
+	}
+	if n := snap.LabeledCounterSum("primacyd_requests_total"); n != 2 {
+		t.Errorf("labeled request family sum = %d, want 2", n)
+	}
+	unlabeled, ok := snap.Histogram("primacyd_request_seconds")
+	if !ok {
+		t.Fatal("unlabeled primacyd_request_seconds missing")
+	}
+	var labeledCount int64
+	for _, h := range snap.LabeledHistograms {
+		if h.Name == "primacyd_route_request_seconds" {
+			labeledCount += h.Count
+		}
+	}
+	if labeledCount != unlabeled.Count {
+		t.Errorf("labeled latency family count %d != unlabeled count %d", labeledCount, unlabeled.Count)
+	}
+	var queueWaits int64
+	for _, h := range snap.LabeledHistograms {
+		if h.Name == "primacyd_queue_wait_seconds" {
+			queueWaits += h.Count
+		}
+	}
+	if queueWaits != unlabeled.Count {
+		t.Errorf("queue-wait observations %d != requests %d", queueWaits, unlabeled.Count)
+	}
+
+	// (c) The flight-recorder span, joined by request ID.
+	var span *trace.SpanRecord
+	for _, rec := range tr.Spans() {
+		if id, ok := rec.StrAttr("request_id"); ok && id == reqID {
+			span = &rec
+			break
+		}
+	}
+	if span == nil {
+		t.Fatalf("no span carries request_id=%s", reqID)
+	}
+	if span.Name != "server.compress" {
+		t.Errorf("span name = %q, want server.compress", span.Name)
+	}
+	if tid, _ := span.StrAttr("trace_id"); tid != traceID {
+		t.Errorf("span trace_id = %q, want %q", tid, traceID)
+	}
+	if ten, _ := span.StrAttr("tenant"); ten != "acme" {
+		t.Errorf("span tenant = %q, want acme", ten)
+	}
+	if st, ok := span.IntAttr("status"); !ok || st != http.StatusOK {
+		t.Errorf("span status attr = %d ok=%v, want 200", st, ok)
+	}
+}
+
+// A malformed or oversized inbound request ID must be replaced, never echoed.
+func TestInvalidRequestIDReplaced(t *testing.T) {
+	_, url, _, _, buf := obsTestServer(t, Config{})
+	raw := testData(64, 3)
+	for _, bad := range []string{"has space", "semi;colon", strings.Repeat("a", 200)} {
+		resp, _ := post(t, url+"/v1/compress", raw, map[string]string{HeaderRequestID: bad})
+		got := resp.Header.Get(HeaderRequestID)
+		if got == bad || !validRequestID(got) {
+			t.Errorf("inbound ID %q: response carries %q, want a generated valid ID", bad, got)
+		}
+	}
+	if findLine(buf.lines(t), "request", "") == nil {
+		t.Error("no access-log lines emitted")
+	}
+}
+
+// A 1000-distinct-tenant storm must not blow up label cardinality: the
+// tenant label interns at most DefMaxLabelValues values plus "other", while
+// the family total still counts every request.
+func TestTenantStormKeepsCardinalityBounded(t *testing.T) {
+	_, url, reg, _, _ := obsTestServer(t, Config{})
+	raw := testData(8, 13)
+	const tenants = 1000
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req, err := http.NewRequest(http.MethodPost, url+"/v1/compress", bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set(HeaderTenant, fmt.Sprintf("storm-tenant-%04d", i))
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	seen := map[string]bool{}
+	var total int64
+	for _, c := range snap.LabeledCounters {
+		if c.Name != "primacyd_requests_total" {
+			continue
+		}
+		total += c.Value
+		for _, l := range c.Labels {
+			if l.Name == "tenant" {
+				seen[l.Value] = true
+			}
+		}
+	}
+	if total != tenants {
+		t.Errorf("labeled family total = %d, want %d (every request counted)", total, tenants)
+	}
+	if len(seen) > telemetry.DefMaxLabelValues+1 {
+		t.Errorf("tenant label cardinality %d exceeds cap %d+other", len(seen), telemetry.DefMaxLabelValues)
+	}
+	if !seen[telemetry.OverflowLabel] {
+		t.Errorf("storm never spilled into the %q bucket", telemetry.OverflowLabel)
+	}
+}
+
+// Breaching -slow-request-ms must emit the span-tree dump joined to the
+// access-log line by request ID.
+func TestSlowRequestDumpsSpanTree(t *testing.T) {
+	_, url, _, _, buf := obsTestServer(t, Config{SlowRequest: time.Nanosecond})
+	resp, body := post(t, url+"/v1/compress", testData(2_000, 21), map[string]string{
+		HeaderRequestID: "slow-req-1",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	lines := buf.lines(t)
+	if line := findLine(lines, "request", "slow-req-1"); line == nil {
+		t.Fatal("no access-log line for the slow request")
+	} else if line["level"] != "WARN" {
+		t.Errorf("slow request logged at %v, want WARN", line["level"])
+	}
+	dump := findLine(lines, "slow request trace", "slow-req-1")
+	if dump == nil {
+		t.Fatalf("no span-tree dump for the slow request in:\n%s", &buf.buf)
+	}
+	tree, _ := dump["tree"].(string)
+	if !bytes.Contains([]byte(tree), []byte("server.compress")) {
+		t.Errorf("span tree %q does not include the request span", tree)
+	}
+	if n, _ := dump["spans"].(float64); n < 1 {
+		t.Errorf("span-tree dump reports %v spans, want >= 1", dump["spans"])
+	}
+}
+
+// Drain must not return before in-flight requests have flushed their
+// observability: the access-log line and the labeled counters of a request
+// that was in flight when the drain started must be visible the moment
+// Drain returns.
+func TestDrainFlushesObservabilityFirst(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, url, reg, _, buf := obsTestServer(t, Config{Solver: "bzlib", CacheBytes: -1})
+	raw := testData(64_000, 31)
+	resultCh := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, url+"/v1/compress", raw, map[string]string{
+			HeaderRequestID: "drain-req-1",
+			HeaderTenant:    "acme",
+		})
+		resultCh <- resp.StatusCode
+	}()
+	waitInflight(t, s)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The checks below run before the client goroutine is even joined: the
+	// drain itself must have waited for the flush.
+	line := findLine(buf.lines(t), "request", "drain-req-1")
+	if line == nil {
+		t.Fatalf("Drain returned before the in-flight request's access log was flushed:\n%s", &buf.buf)
+	}
+	if n := reg.Snapshot().LabeledCounterSum("primacyd_requests_total",
+		telemetry.LabelPair{Name: "tenant", Value: "acme"},
+	); n != 1 {
+		t.Errorf("Drain returned before the in-flight request was counted: got %d", n)
+	}
+	if findLine(buf.lines(t), "drain complete", "") == nil {
+		t.Error("no 'drain complete' lifecycle line")
+	}
+	if code := <-resultCh; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: %d, want 200", code)
+	}
+	s.Close() // stops the runtime sampler
+	checkGoroutinesSettled(t, before)
+}
+
+// /statusz renders build, config, tenant, SLO, and anomaly sections in both
+// plain-text and HTML forms.
+func TestStatuszConsole(t *testing.T) {
+	_, url, _, _, _ := obsTestServer(t, Config{})
+	if resp, _ := post(t, url+"/v1/compress", testData(1_000, 51), map[string]string{
+		HeaderTenant: "acme",
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d", resp.StatusCode)
+	}
+	resp, body := get(t, url+"/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"primacyd status", "uptime:", "config:", "acme", "slo", "build:"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("statusz missing %q:\n%s", want, body)
+		}
+	}
+	req, err := http.NewRequest(http.MethodGet, url+"/statusz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/html")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if ct := r2.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("HTML statusz content type = %q", ct)
+	}
+	if !bytes.Contains(html, []byte("<pre>")) {
+		t.Error("HTML statusz has no <pre> section")
+	}
+}
+
+// The SLO tracker classifies sheds and 5xx as bad and reports burn rate
+// against the configured budget.
+func TestSLOTrackerClassification(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := newSLOTracker(SLOConfig{Target: time.Second, Window: time.Minute, ErrorBudget: 0.1}, reg)
+	now := time.Now()
+	for i := 0; i < 9; i++ {
+		tr.record("compress", true, now)
+	}
+	tr.record("compress", false, now)
+	sts := tr.Status(now)
+	if len(sts) != 1 {
+		t.Fatalf("routes = %d, want 1", len(sts))
+	}
+	st := sts[0]
+	if st.Good != 9 || st.Total != 10 {
+		t.Fatalf("good/total = %d/%d, want 9/10", st.Good, st.Total)
+	}
+	if st.BadFraction != 0.1 {
+		t.Errorf("bad fraction = %v, want 0.1", st.BadFraction)
+	}
+	if st.BurnRate != 1.0 {
+		t.Errorf("burn rate = %v, want 1.0 (burning exactly at budget)", st.BurnRate)
+	}
+	if n := reg.Snapshot().LabeledCounterSum("primacyd_slo_requests_total",
+		telemetry.LabelPair{Name: "outcome", Value: "bad"},
+	); n != 1 {
+		t.Errorf("bad outcome counter = %d, want 1", n)
+	}
+	// Outcomes older than the window fall out.
+	later := now.Add(2 * time.Minute)
+	tr.record("compress", true, later)
+	sts = tr.Status(later)
+	if sts[0].Total != 1 || sts[0].Good != 1 {
+		t.Errorf("after window expiry good/total = %d/%d, want 1/1", sts[0].Good, sts[0].Total)
+	}
+	// A nil tracker no-ops.
+	var nilTr *sloTracker
+	nilTr.record("x", true, now)
+	if nilTr.Status(now) != nil {
+		t.Error("nil tracker Status != nil")
+	}
+}

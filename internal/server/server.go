@@ -20,6 +20,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"primacy/internal/fairshare"
 	"primacy/internal/solver"
 	"primacy/internal/telemetry"
+	"primacy/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value serves with the documented
@@ -90,6 +92,21 @@ type Config struct {
 	// Metrics, when set, receives the server's counters and serves
 	// /metrics. Nil disables both.
 	Metrics *telemetry.Registry
+
+	// Logger, when set, receives one structured access-log line per work
+	// request plus startup/recovery/drain lifecycle events. Nil disables
+	// logging.
+	Logger *slog.Logger
+	// Tracer, when set, records a flight-recorder span per work request
+	// (carrying the request ID) with admission and codec child spans nested
+	// under it. Nil disables request spans.
+	Tracer *trace.Tracer
+	// SlowRequest is the slow-request threshold: a work request slower than
+	// this logs at warn and dumps its span tree. 0 disables.
+	SlowRequest time.Duration
+	// SLO parameterizes the rolling per-route SLO tracker (zero fields take
+	// the documented defaults).
+	SLO SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -120,7 +137,6 @@ func (c Config) withDefaults() Config {
 // serverMetrics are the daemon's own counters, registered on Config.Metrics
 // (all handles nil-safe when metrics are disabled).
 type serverMetrics struct {
-	requests   *telemetry.Counter
 	ok         *telemetry.Counter
 	shed       *telemetry.Counter // 429: queue full / shed-oldest
 	drained    *telemetry.Counter // 503: refused while draining
@@ -132,6 +148,20 @@ type serverMetrics struct {
 	cacheMiss  *telemetry.Counter
 	cacheShare *telemetry.Counter
 	latency    *telemetry.Histogram
+
+	// Labeled request vectors (bounded tenant cardinality; a tenant storm
+	// collapses into the "other" bucket). primacyd_requests_total moved from
+	// an unlabeled counter to a {route,tenant,status} vector; its family sum
+	// equals the unlabeled primacyd_request_seconds count, which stays as the
+	// stable total.
+	requestsVec  *telemetry.CounterVec   // primacyd_requests_total{route,tenant,status}
+	latencyVec   *telemetry.HistogramVec // primacyd_route_request_seconds{route,tenant}
+	queueWaitVec *telemetry.HistogramVec // primacyd_queue_wait_seconds{route,tenant}
+	workVec      *telemetry.HistogramVec // primacyd_work_seconds{route,tenant}
+	bytesInVec   *telemetry.CounterVec   // primacyd_request_bytes_in_total{route,tenant}
+	bytesOutVec  *telemetry.CounterVec   // primacyd_request_bytes_out_total{route,tenant}
+	shedVec      *telemetry.CounterVec   // primacyd_shed_by_tenant_total{route,tenant}
+	cacheVec     *telemetry.CounterVec   // primacyd_cache_outcomes_total{route,tenant,outcome}
 }
 
 // Server is the primacyd HTTP service. Create with New, mount Handler, and
@@ -161,6 +191,12 @@ type Server struct {
 
 	closeStore sync.Once
 	storeErr   error
+
+	// Observability plumbing (see obs.go / slo.go / statusz.go).
+	started     time.Time
+	log         *slog.Logger
+	slo         *sloTracker
+	stopSampler func()
 }
 
 // New validates cfg and returns a ready-to-serve Server.
@@ -194,9 +230,11 @@ func New(cfg Config) (*Server, error) {
 		recovery:   recovery,
 		archives:   make(map[string]*tenantArchive),
 	}
+	s.started = time.Now()
+	s.log = cfg.Logger
+	s.slo = newSLOTracker(cfg.SLO, cfg.Metrics)
 	if r := cfg.Metrics; r != nil {
 		s.met = serverMetrics{
-			requests:   r.Counter("primacyd_requests_total", "Requests received on work endpoints."),
 			ok:         r.Counter("primacyd_ok_total", "Requests answered 2xx."),
 			shed:       r.Counter("primacyd_shed_total", "Requests shed with 429 under overload."),
 			drained:    r.Counter("primacyd_drain_refused_total", "Requests refused with 503 while draining."),
@@ -208,10 +246,47 @@ func New(cfg Config) (*Server, error) {
 			cacheMiss:  r.Counter("primacyd_cache_misses_total", "Work requests that computed their result."),
 			cacheShare: r.Counter("primacyd_cache_shared_total", "Work requests that shared a concurrent identical computation."),
 			latency:    r.Histogram("primacyd_request_seconds", "Wall time of work requests.", nil),
+
+			requestsVec: r.CounterVec("primacyd_requests_total",
+				"Work requests by route, tenant, and status class.",
+				[]string{"route", "tenant", "status"}),
+			latencyVec: r.HistogramVec("primacyd_route_request_seconds",
+				"Wall time of work requests by route and tenant.",
+				[]string{"route", "tenant"}, nil),
+			queueWaitVec: r.HistogramVec("primacyd_queue_wait_seconds",
+				"Time spent queued behind the fair-share admitter.",
+				[]string{"route", "tenant"}, nil),
+			workVec: r.HistogramVec("primacyd_work_seconds",
+				"Request wall time minus admission queue wait.",
+				[]string{"route", "tenant"}, nil),
+			bytesInVec: r.CounterVec("primacyd_request_bytes_in_total",
+				"Request body bytes read, by route and tenant.",
+				[]string{"route", "tenant"}),
+			bytesOutVec: r.CounterVec("primacyd_request_bytes_out_total",
+				"Response body bytes written, by route and tenant.",
+				[]string{"route", "tenant"}),
+			shedVec: r.CounterVec("primacyd_shed_by_tenant_total",
+				"Requests shed with 429, by route and tenant.",
+				[]string{"route", "tenant"}),
+			cacheVec: r.CounterVec("primacyd_cache_outcomes_total",
+				"Result-cache outcomes by route, tenant, and outcome (hit/miss/shared).",
+				[]string{"route", "tenant", "outcome"}),
 		}
+		telemetry.RegisterBuildInfo(r, "primacyd_build_info")
 	}
+	s.stopSampler = telemetry.StartRuntimeSampler(cfg.Metrics, 0)
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.lifecycle("server started",
+		slog.String("solver", s.cfg.Solver),
+		slog.Int("workers", s.cfg.Workers),
+		slog.String("data_dir", s.cfg.DataDir))
+	if recovery != nil && len(recovery.Tenants) > 0 {
+		s.lifecycle("durable store recovered",
+			slog.String("data_dir", s.cfg.DataDir),
+			slog.Int("tenants", len(recovery.Tenants)),
+			slog.Bool("dirty", recovery.Dirty()))
+	}
 	return s, nil
 }
 
@@ -228,9 +303,16 @@ func (s *Server) Admitter() *fairshare.Admitter { return s.adm }
 // for a clean start or in-memory mode, never nil).
 func (s *Server) Recovery() *durable.RecoveryReport { return s.recovery }
 
-// shutdownStore flushes and closes the durable store exactly once.
+// shutdownStore flushes and closes the durable store exactly once, stopping
+// the runtime sampler first (its stop waits for the goroutine to exit, so a
+// drained process leaks nothing).
 func (s *Server) shutdownStore() error {
-	s.closeStore.Do(func() { s.storeErr = s.store.Close() })
+	s.closeStore.Do(func() {
+		if s.stopSampler != nil {
+			s.stopSampler()
+		}
+		s.storeErr = s.store.Close()
+	})
 	return s.storeErr
 }
 
@@ -246,6 +328,7 @@ const drainGrace = 5 * time.Second
 // explicitly cancelled, so the process can exit 0.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.lifecycle("drain started")
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -253,18 +336,24 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return s.shutdownStore()
+		err := s.shutdownStore()
+		s.lifecycle("drain complete", slog.Bool("forced", false))
+		return err
 	case <-ctx.Done():
 	}
 	// Deadline-cancel in-flight work and give handlers a bounded unwind.
+	s.lifecycle("drain forcing cancellation of in-flight requests")
 	s.cancelBase()
 	select {
 	case <-done:
-		return s.shutdownStore()
+		err := s.shutdownStore()
+		s.lifecycle("drain complete", slog.Bool("forced", true))
+		return err
 	case <-time.After(drainGrace):
 		// Close the store anyway: journals are already fsync'd per put, so
 		// this only flushes compactions and file handles.
 		s.shutdownStore()
+		s.lifecycle("drain timed out with requests still in flight")
 		return fmt.Errorf("server: drain timed out with requests still in flight")
 	}
 }

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the conventional `<name>` info gauge: a single
+// always-1 sample whose labels carry the module version, the Go toolchain
+// that built the binary, and the VCS revision when the build embedded one.
+// Dashboards join it against rate metrics to attribute regressions to a
+// deploy. A nil registry returns nil; re-registration returns the same child.
+func RegisterBuildInfo(r *Registry, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	version, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	gv := r.GaugeVec(name, "Build information; value is always 1.",
+		[]string{"version", "go_version", "revision"})
+	g := gv.With(version, runtime.Version(), revision)
+	g.Set(1)
+	return g
+}

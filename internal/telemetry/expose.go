@@ -5,12 +5,15 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples, histograms
-// with cumulative le-labelled buckets plus _sum and _count. A nil registry
-// writes nothing.
+// with cumulative le-labelled buckets plus _sum and _count, and labeled
+// vector families with one HELP/TYPE header followed by every child sample
+// (label values escaped per the format: `\`, `"`, and newline). A nil
+// registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 	for _, c := range snap.Counters {
@@ -33,33 +36,141 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if err := writeHeader(w, h.Name, h.Help, "histogram"); err != nil {
 			return err
 		}
-		var cum int64
-		for i, c := range h.Counts {
-			cum += c
-			le := "+Inf"
-			if i < len(h.Bounds) {
-				le = formatFloat(h.Bounds[i])
-			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, cum); err != nil {
+		if err := writeHistogramSamples(w, h, nil); err != nil {
+			return err
+		}
+	}
+	// Labeled families: snapshot entries are sorted by name, so one header
+	// per family at each name change.
+	prev := ""
+	for _, c := range snap.LabeledCounters {
+		if c.Name != prev {
+			if err := writeHeader(w, c.Name, c.Help, "counter"); err != nil {
 				return err
 			}
+			prev = c.Name
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-			h.Name, formatFloat(h.Sum), h.Name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.Name, labelSet(c.Labels, ""), c.Value); err != nil {
+			return err
+		}
+	}
+	prev = ""
+	for _, g := range snap.LabeledGauges {
+		if g.Name != prev {
+			if err := writeHeader(w, g.Name, g.Help, "gauge"); err != nil {
+				return err
+			}
+			prev = g.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", g.Name, labelSet(g.Labels, ""), g.Value); err != nil {
+			return err
+		}
+	}
+	prev = ""
+	for _, h := range snap.LabeledHistograms {
+		if h.Name != prev {
+			if err := writeHeader(w, h.Name, h.Help, "histogram"); err != nil {
+				return err
+			}
+			prev = h.Name
+		}
+		if err := writeHistogramSamples(w, h.HistogramValue, h.Labels); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeHistogramSamples emits one histogram's cumulative buckets, sum, and
+// count, with labels (possibly none) on every sample.
+func writeHistogramSamples(w io.Writer, h HistogramValue, labels []LabelPair) error {
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatFloat(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, labelSet(labels, le), cum); err != nil {
+			return err
+		}
+	}
+	ls := labelSet(labels, "")
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+		h.Name, ls, formatFloat(h.Sum), h.Name, ls, h.Count)
+	return err
+}
+
+// labelSet renders `{a="b",le="x"}` with exposition-format escaping, or ""
+// when there is nothing to render. le, when non-empty, is appended last.
+func labelSet(labels []LabelPair, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(escapeLabelValue(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the text-format label-value escapes: backslash,
+// double quote, and line feed. Everything else (including UTF-8) passes
+// through verbatim, per the 0.0.4 spec.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 func writeHeader(w io.Writer, name, help, typ string) error {
 	if help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
 			return err
 		}
 	}
 	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 	return err
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and line feed; quotes
+// are legal verbatim in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -82,6 +193,22 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, h := range snap.Histograms {
 		if _, err := fmt.Fprintf(w, "%-46s count=%d sum=%.6g mean=%.6g p50~%.6g p99~%.6g\n",
 			h.Name, h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.99)); err != nil {
+			return err
+		}
+	}
+	for _, c := range snap.LabeledCounters {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", c.Name+labelSet(c.Labels, ""), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.LabeledGauges {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", g.Name+labelSet(g.Labels, ""), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.LabeledHistograms {
+		if _, err := fmt.Fprintf(w, "%-46s count=%d sum=%.6g mean=%.6g p50~%.6g p99~%.6g\n",
+			h.Name+labelSet(h.Labels, ""), h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.99)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,483 @@
+// Package promcheck is a strict checker for the Prometheus text exposition
+// format, version 0.0.4. It exists so the repo's /metrics output — now
+// carrying labeled samples with escaped values — can be conformance-tested
+// without importing the Prometheus client: every line must parse, names must
+// be legal, label values must use only the three legal escapes, TYPE lines
+// must precede their samples and never repeat, and histogram families must
+// carry cumulative non-decreasing buckets consistent with _count.
+package promcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: the TYPE declaration plus its samples.
+// Histogram families include the _bucket/_sum/_count samples under the base
+// name.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Help    string
+	Samples []Sample
+}
+
+// Exposition is a fully parsed scrape.
+type Exposition struct {
+	Families map[string]*Family
+	// Samples is every sample line in input order.
+	Samples []Sample
+}
+
+// Get returns the first sample with the given name whose labels include all
+// of want.
+func (e *Exposition) Get(name string, want map[string]string) (Sample, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Sum adds up every sample with the given name whose labels include all of
+// want (pass nil to sum the family).
+func (e *Exposition) Sum(name string, want map[string]string) float64 {
+	var sum float64
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+// Parse strictly parses a text-format scrape. Any deviation from the 0.0.4
+// format is an error carrying the offending line number.
+func Parse(data []byte) (*Exposition, error) {
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("exposition does not end with a newline")
+	}
+	exp := &Exposition{Families: map[string]*Family{}}
+	typed := map[string]string{} // declared TYPE by family name
+	helped := map[string]bool{}  // HELP seen by family name
+	sampled := map[string]bool{} // family has emitted samples
+	lines := strings.Split(string(data), "\n")
+	for no, line := range lines {
+		lineNo := no + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, lineNo, typed, helped, sampled, exp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := parseSample(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		fam := familyName(s.Name, typed)
+		if t, ok := typed[fam]; ok {
+			if err := checkSampleShape(s, fam, t, lineNo); err != nil {
+				return nil, err
+			}
+		}
+		sampled[fam] = true
+		f := exp.Families[fam]
+		if f == nil {
+			f = &Family{Name: fam, Type: typed[fam]}
+			exp.Families[fam] = f
+		}
+		f.Samples = append(f.Samples, s)
+		exp.Samples = append(exp.Samples, s)
+	}
+	for name, f := range exp.Families {
+		if f.Type == "histogram" {
+			if err := checkHistogram(name, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return exp, nil
+}
+
+// parseComment handles # HELP and # TYPE lines (other comments pass).
+func parseComment(line string, no int, typed map[string]string, helped, sampled map[string]bool, exp *Exposition) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("line %d: malformed TYPE line %q", no, line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", no, name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: invalid TYPE %q for %s", no, typ, name)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", no, name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", no, name)
+		}
+		typed[name] = typ
+		f := exp.Families[name]
+		if f == nil {
+			f = &Family{Name: name}
+			exp.Families[name] = f
+		}
+		f.Type = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: malformed HELP line %q", no, line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", no, name)
+		}
+		if helped[name] {
+			return fmt.Errorf("line %d: duplicate HELP for %s", no, name)
+		}
+		helped[name] = true
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		if err := checkEscapes(help, false); err != nil {
+			return fmt.Errorf("line %d: HELP for %s: %v", no, name, err)
+		}
+		f := exp.Families[name]
+		if f == nil {
+			f = &Family{Name: name}
+			exp.Families[name] = f
+		}
+		f.Help = help
+	}
+	return nil
+}
+
+// parseSample parses one `name{labels} value [timestamp]` line.
+func parseSample(line string, no int) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("line %d: invalid metric name in %q", no, line)
+	}
+	if i < len(line) && line[i] == '{' {
+		rest, err := parseLabels(line[i:], no, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		i = len(line) - len(rest)
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("line %d: expected space before value in %q", no, line)
+	}
+	valueAndTs := strings.TrimSpace(line[i+1:])
+	parts := strings.Fields(valueAndTs)
+	if len(parts) < 1 || len(parts) > 2 {
+		return s, fmt.Errorf("line %d: expected value [timestamp], got %q", no, valueAndTs)
+	}
+	v, err := parseValue(parts[0])
+	if err != nil {
+		return s, fmt.Errorf("line %d: invalid value %q", no, parts[0])
+	}
+	s.Value = v
+	if len(parts) == 2 {
+		if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return s, fmt.Errorf("line %d: invalid timestamp %q", no, parts[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes a `{name="value",...}` block, returning the unparsed
+// tail.
+func parseLabels(in string, no int, out map[string]string) (string, error) {
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return "", fmt.Errorf("line %d: unterminated label block", no)
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		j := 0
+		for j < len(rest) && isLabelNameChar(rest[j], j == 0) {
+			j++
+		}
+		name := rest[:j]
+		if name == "" || !validLabelName(name) {
+			return "", fmt.Errorf("line %d: invalid label name in %q", no, in)
+		}
+		rest = rest[j:]
+		if !strings.HasPrefix(rest, `="`) {
+			return "", fmt.Errorf("line %d: label %s not followed by =\"...\"", no, name)
+		}
+		rest = rest[2:]
+		var val strings.Builder
+		closed := false
+		for k := 0; k < len(rest); k++ {
+			c := rest[k]
+			if c == '\\' {
+				if k+1 >= len(rest) {
+					return "", fmt.Errorf("line %d: dangling backslash in label %s", no, name)
+				}
+				switch rest[k+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("line %d: illegal escape \\%c in label %s", no, rest[k+1], name)
+				}
+				k++
+				continue
+			}
+			if c == '"' {
+				rest = rest[k+1:]
+				closed = true
+				break
+			}
+			if c == '\n' {
+				return "", fmt.Errorf("line %d: raw newline in label %s", no, name)
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", fmt.Errorf("line %d: unterminated label value for %s", no, name)
+		}
+		if _, dup := out[name]; dup {
+			return "", fmt.Errorf("line %d: duplicate label %s", no, name)
+		}
+		out[name] = val.String()
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if !strings.HasPrefix(rest, "}") {
+			return "", fmt.Errorf("line %d: unterminated label block", no)
+		}
+	}
+}
+
+// parseValue accepts Go float syntax plus the Prometheus spellings +Inf,
+// -Inf, and NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyName folds histogram sample suffixes back onto the declared family.
+func familyName(sample string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base != sample && typed[base] == "histogram" {
+			return base
+		}
+	}
+	return sample
+}
+
+// checkSampleShape enforces per-type sample naming.
+func checkSampleShape(s Sample, fam, typ string, no int) error {
+	switch typ {
+	case "histogram":
+		switch s.Name {
+		case fam + "_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("line %d: histogram bucket %s without le label", no, s.Name)
+			}
+		case fam + "_sum", fam + "_count":
+		default:
+			return fmt.Errorf("line %d: sample %s not legal under histogram %s", no, s.Name, fam)
+		}
+	default:
+		if s.Name != fam {
+			return fmt.Errorf("line %d: sample %s under %s family %s", no, s.Name, typ, fam)
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates each label-set's bucket series: le values parse,
+// cumulative counts never decrease, a +Inf bucket exists and matches _count.
+func checkHistogram(name string, f *Family) error {
+	type series struct {
+		les     []float64
+		counts  []float64
+		infSeen bool
+		infVal  float64
+		count   float64
+		hasCnt  bool
+	}
+	byKey := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	for _, s := range f.Samples {
+		key := keyOf(s.Labels)
+		sr := byKey[key]
+		if sr == nil {
+			sr = &series{}
+			byKey[key] = sr
+		}
+		switch s.Name {
+		case name + "_bucket":
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s: invalid le %q", name, s.Labels["le"])
+			}
+			if math.IsInf(le, 1) {
+				sr.infSeen = true
+				sr.infVal = s.Value
+			}
+			sr.les = append(sr.les, le)
+			sr.counts = append(sr.counts, s.Value)
+		case name + "_count":
+			sr.count = s.Value
+			sr.hasCnt = true
+		}
+	}
+	for key, sr := range byKey {
+		for i := 1; i < len(sr.counts); i++ {
+			if sr.les[i] < sr.les[i-1] {
+				return fmt.Errorf("histogram %s{%s}: le bounds not ascending", name, key)
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("histogram %s{%s}: cumulative bucket counts decrease", name, key)
+			}
+		}
+		if len(sr.counts) > 0 && !sr.infSeen {
+			return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", name, key)
+		}
+		if sr.infSeen && sr.hasCnt && sr.infVal != sr.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != count %v", name, key, sr.infVal, sr.count)
+		}
+	}
+	return nil
+}
+
+// checkEscapes verifies only legal escapes appear (labelValue adds \").
+func checkEscapes(s string, labelValue bool) error {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(s) {
+			return fmt.Errorf("dangling backslash")
+		}
+		next := s[i+1]
+		if next == '\\' || next == 'n' || (labelValue && next == '"') {
+			i++
+			continue
+		}
+		return fmt.Errorf("illegal escape \\%c", next)
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isLabelNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isLabelNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}

@@ -1,0 +1,114 @@
+package promcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const goodScrape = `# HELP reqs_total Requests, with \\ and \n in help.
+# TYPE reqs_total counter
+reqs_total{route="compress",tenant="acme"} 4
+reqs_total{route="compress",tenant="quo\"te"} 1
+reqs_total{route="get",tenant="back\\slash"} 2
+reqs_total{route="get",tenant="new\nline"} 3
+# TYPE up gauge
+up 1
+# TYPE lat_seconds histogram
+lat_seconds_bucket{route="c",le="0.1"} 2
+lat_seconds_bucket{route="c",le="1"} 5
+lat_seconds_bucket{route="c",le="+Inf"} 6
+lat_seconds_sum{route="c"} 3.5
+lat_seconds_count{route="c"} 6
+`
+
+func TestParseGoodScrape(t *testing.T) {
+	exp, err := Parse([]byte(goodScrape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := exp.Get("reqs_total", map[string]string{"tenant": "acme"}); !ok || s.Value != 4 {
+		t.Fatalf("acme sample: %+v ok=%v", s, ok)
+	}
+	// Escapes decode back to the raw values.
+	for _, tenant := range []string{`quo"te`, `back\slash`, "new\nline"} {
+		if _, ok := exp.Get("reqs_total", map[string]string{"tenant": tenant}); !ok {
+			t.Fatalf("escaped tenant %q did not round-trip", tenant)
+		}
+	}
+	if got := exp.Sum("reqs_total", nil); got != 10 {
+		t.Fatalf("family sum = %v, want 10", got)
+	}
+	if got := exp.Sum("reqs_total", map[string]string{"route": "get"}); got != 5 {
+		t.Fatalf("route=get sum = %v, want 5", got)
+	}
+	f := exp.Families["lat_seconds"]
+	if f == nil || f.Type != "histogram" || len(f.Samples) != 5 {
+		t.Fatalf("histogram family: %+v", f)
+	}
+	if s, ok := exp.Get("lat_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || s.Value != 6 {
+		t.Fatalf("+Inf bucket: %+v ok=%v", s, ok)
+	}
+	if f := exp.Families["reqs_total"]; !strings.Contains(f.Help, `\\`) {
+		t.Fatalf("help not captured: %q", f.Help)
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	exp, err := Parse([]byte("a 1.5e3\nb +Inf\nc -Inf\nd NaN\ne 3 1712345678\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := exp.Get("a", nil); s.Value != 1500 {
+		t.Fatalf("a = %v", s.Value)
+	}
+	if s, _ := exp.Get("b", nil); !math.IsInf(s.Value, 1) {
+		t.Fatalf("b = %v", s.Value)
+	}
+	if s, _ := exp.Get("d", nil); !math.IsNaN(s.Value) {
+		t.Fatalf("d = %v", s.Value)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"no trailing newline", "a 1", "newline"},
+		{"bad metric name", "9a 1\n", "metric name"},
+		{"bad label name", `a{9x="v"} 1` + "\n", "label name"},
+		{"reserved label name", `a{__x="v"} 1` + "\n", "label name"},
+		{"illegal escape", `a{x="\t"} 1` + "\n", "illegal escape"},
+		{"dangling backslash", `a{x="v\"} 1` + "\n", "unterminated"},
+		{"unterminated labels", `a{x="v" 1` + "\n", "unterminated"},
+		{"duplicate label", `a{x="1",x="2"} 1` + "\n", "duplicate label"},
+		{"missing value", "a{}\n", "value"},
+		{"bad value", "a one\n", "invalid value"},
+		{"bad timestamp", "a 1 soon\n", "timestamp"},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		{"TYPE after samples", "a 1\n# TYPE a counter\n", "after its samples"},
+		{"bad TYPE", "# TYPE a speedometer\na 1\n", "invalid TYPE"},
+		{"duplicate HELP", "# HELP a x\n# HELP a y\na 1\n", "duplicate HELP"},
+		{"illegal help escape", "# HELP a bad \\t escape\na 1\n", "illegal escape"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n", "without le"},
+		{"non-monotonic buckets", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" + `h_bucket{le="+Inf"} 5` + "\n" +
+			"h_sum 1\nh_count 5\n", "decrease"},
+		{"missing +Inf bucket", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + "h_sum 1\nh_count 5\n", "+Inf"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 4` + "\n" + "h_sum 1\nh_count 5\n", "!= count"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted invalid input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import "testing"
+
+// Edge behavior of HistogramValue.Quantile at the extremes: q=0, q=1, a
+// single observation, and all-overflow data. The estimator must never report
+// a value above the observed maximum, and q=1 must land on the max for any
+// non-empty histogram.
+
+func snapHistogram(t *testing.T, fill func(h *Histogram), bounds []float64) HistogramValue {
+	t.Helper()
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "", bounds)
+	fill(h)
+	for _, hv := range r.Snapshot().Histograms {
+		if hv.Name == "edge_seconds" {
+			return hv
+		}
+	}
+	t.Fatalf("histogram missing from snapshot")
+	return HistogramValue{}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	hv := snapHistogram(t, func(h *Histogram) { h.Observe(5) }, []float64{1, 10, 100})
+	// One value of 5 lands in the (1,10] bucket; naive interpolation would
+	// report up to 10 for high quantiles. Every quantile must be clamped to
+	// the observed maximum.
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if got := hv.Quantile(q); got > 5 {
+			t.Fatalf("q=%v = %v, exceeds the single observation 5", q, got)
+		}
+	}
+	if got := hv.Quantile(1); got != 5 {
+		t.Fatalf("q=1 = %v, want 5", got)
+	}
+}
+
+func TestQuantileZeroAndOne(t *testing.T) {
+	hv := snapHistogram(t, func(h *Histogram) {
+		h.Observe(0.5)
+		h.Observe(2)
+		h.Observe(7)
+	}, []float64{1, 10})
+	if got := hv.Quantile(0); got < 0 || got > 0.5 {
+		t.Fatalf("q=0 = %v, want within [0, min observation]", got)
+	}
+	if got := hv.Quantile(1); got != 7 {
+		t.Fatalf("q=1 = %v, want the max 7", got)
+	}
+	// Monotonic across the range.
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		got := hv.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantileAllOverflow(t *testing.T) {
+	hv := snapHistogram(t, func(h *Histogram) {
+		h.Observe(50)
+		h.Observe(80)
+		h.Observe(120)
+	}, []float64{1, 10})
+	// Every observation is past the last finite bound: the layout carries no
+	// upper-bound information, so all quantiles in the overflow bucket report
+	// the observed maximum (never the last finite bound, which would
+	// understate by >10x here).
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := hv.Quantile(q); got != 120 {
+			t.Fatalf("all-overflow q=%v = %v, want observed max 120", q, got)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	hv := snapHistogram(t, func(h *Histogram) {}, []float64{1, 10})
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := hv.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram q=%v = %v, want 0", q, got)
+		}
+	}
+}

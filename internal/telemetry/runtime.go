@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefRuntimeSampleInterval is how often the runtime sampler refreshes its
+// gauges when the caller passes no interval.
+const DefRuntimeSampleInterval = 10 * time.Second
+
+// StartRuntimeSampler registers Go-runtime gauges on r — heap usage, GC
+// pause totals, goroutine count, GOMAXPROCS — and starts one goroutine
+// refreshing them every interval (DefRuntimeSampleInterval when <= 0). An
+// immediate first sample runs before it returns, so a scrape right after
+// startup already sees values. The returned stop function halts the sampler
+// and waits for its goroutine to exit; it is idempotent. A nil registry
+// starts nothing and returns a no-op stop.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefRuntimeSampleInterval
+	}
+	g := runtimeGauges{
+		goroutines:  r.Gauge("primacy_runtime_goroutines", "Live goroutines at the last sample."),
+		gomaxprocs:  r.Gauge("primacy_runtime_gomaxprocs", "Effective GOMAXPROCS."),
+		heapAlloc:   r.Gauge("primacy_runtime_heap_alloc_bytes", "Heap bytes allocated and in use."),
+		heapSys:     r.Gauge("primacy_runtime_heap_sys_bytes", "Heap bytes obtained from the OS."),
+		heapObjects: r.Gauge("primacy_runtime_heap_objects", "Live heap objects."),
+		gcPauseNs:   r.Gauge("primacy_runtime_gc_pause_total_ns", "Cumulative GC stop-the-world pause nanoseconds."),
+		gcCycles:    r.Gauge("primacy_runtime_gc_cycles", "Completed GC cycles."),
+		nextGC:      r.Gauge("primacy_runtime_next_gc_bytes", "Heap size that triggers the next GC."),
+	}
+	g.sample()
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				g.sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}
+
+type runtimeGauges struct {
+	goroutines  *Gauge
+	gomaxprocs  *Gauge
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	gcPauseNs   *Gauge
+	gcCycles    *Gauge
+	nextGC      *Gauge
+}
+
+func (g runtimeGauges) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.goroutines.Set(int64(runtime.NumGoroutine()))
+	g.gomaxprocs.Set(int64(runtime.GOMAXPROCS(0)))
+	g.heapAlloc.Set(int64(ms.HeapAlloc))
+	g.heapSys.Set(int64(ms.HeapSys))
+	g.heapObjects.Set(int64(ms.HeapObjects))
+	g.gcPauseNs.Set(int64(ms.PauseTotalNs))
+	g.gcCycles.Set(int64(ms.NumGC))
+	g.nextGC.Set(int64(ms.NextGC))
+}

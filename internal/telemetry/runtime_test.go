@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The sampler must populate its gauges immediately, keep refreshing them,
+// and — critically for drain hygiene — its stop function must not return
+// until the sampling goroutine has exited, and must stay safe to call twice.
+func TestRuntimeSamplerSamplesAndStopsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Millisecond)
+
+	snap := r.Snapshot()
+	if v, ok := snap.Gauge("primacy_runtime_goroutines"); !ok || v <= 0 {
+		t.Fatalf("first sample not taken before return: goroutines=%d ok=%v", v, ok)
+	}
+	if v, ok := snap.Gauge("primacy_runtime_gomaxprocs"); !ok || v != int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("gomaxprocs gauge = %d ok=%v, want %d", v, ok, runtime.GOMAXPROCS(0))
+	}
+	if v, ok := snap.Gauge("primacy_runtime_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Errorf("heap alloc gauge = %d ok=%v, want > 0", v, ok)
+	}
+
+	stop()
+	stop() // idempotent by contract
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler goroutine leaked: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A nil registry starts no goroutine and returns a callable no-op stop.
+func TestRuntimeSamplerNilRegistry(t *testing.T) {
+	before := runtime.NumGoroutine()
+	stop := StartRuntimeSampler(nil, time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("nil-registry sampler started a goroutine: %d -> %d", before, after)
+	}
+	stop()
+	stop()
+}

@@ -160,6 +160,9 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindCounterVec
+	kindGaugeVec
+	kindHistogramVec
 )
 
 // metric is one registered entry.
@@ -169,6 +172,9 @@ type metric struct {
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
+	cvec       *CounterVec
+	gvec       *GaugeVec
+	hvec       *HistogramVec
 }
 
 // Registry holds named metrics. The zero value is ready to use; a nil
@@ -274,13 +280,15 @@ func (h HistogramValue) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
-// Quantile estimates the q-th quantile (0 < q < 1) by linear interpolation
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear interpolation
 // within the owning bucket. Quantiles that land in the +Inf overflow bucket
 // report the observed maximum (clamped below by the last finite bound)
 // rather than extrapolating from the last finite bound — on overflow-heavy
 // data the bucket layout carries no upper-bound information, and reporting
-// the last finite bound would understate p99 arbitrarily. Returns 0 for an
-// empty histogram.
+// the last finite bound would understate p99 arbitrarily. Estimates from
+// finite buckets are clamped above by the observed maximum, so a
+// single-observation histogram never reports a p99 past the value it
+// actually saw. Returns 0 for an empty histogram.
 func (h HistogramValue) Quantile(q float64) float64 {
 	if h.Count == 0 || len(h.Bounds) == 0 {
 		return 0
@@ -295,7 +303,7 @@ func (h HistogramValue) Quantile(q float64) float64 {
 				return h.overflowQuantile()
 			}
 			frac := (rank - cum) / float64(c)
-			return lower + frac*(h.Bounds[i]-lower)
+			return h.clampToMax(lower + frac*(h.Bounds[i]-lower))
 		}
 		cum = next
 		if i < len(h.Bounds) {
@@ -307,7 +315,18 @@ func (h HistogramValue) Quantile(q float64) float64 {
 	if h.Counts[len(h.Counts)-1] > 0 {
 		return h.overflowQuantile()
 	}
-	return h.Bounds[len(h.Bounds)-1]
+	return h.clampToMax(h.Bounds[len(h.Bounds)-1])
+}
+
+// clampToMax bounds a within-bucket interpolation by the observed maximum:
+// the bucket's upper edge can exceed every observation (a single value of 5
+// in a (1,10] bucket must not yield p100 = 10). Max is unset (0) only for
+// empty histograms or snapshots of pre-Max data; those pass through.
+func (h HistogramValue) clampToMax(v float64) float64 {
+	if h.Max > 0 && v > h.Max {
+		return h.Max
+	}
+	return v
 }
 
 // overflowQuantile is the value reported for quantiles owned by the +Inf
@@ -321,11 +340,15 @@ func (h HistogramValue) overflowQuantile() float64 {
 }
 
 // Snapshot is a point-in-time copy of every registered metric, each group
-// sorted by name.
+// sorted by name (labeled groups by name then label values).
 type Snapshot struct {
 	Counters   []CounterValue
 	Gauges     []GaugeValue
 	Histograms []HistogramValue
+
+	LabeledCounters   []LabeledCounterValue
+	LabeledGauges     []LabeledGaugeValue
+	LabeledHistograms []LabeledHistogramValue
 }
 
 // Counter finds a counter value by name (0, false when absent).
@@ -377,26 +400,55 @@ func (r *Registry) Snapshot() Snapshot {
 		case kindGauge:
 			snap.Gauges = append(snap.Gauges, GaugeValue{m.name, m.help, m.gauge.Value()})
 		case kindHistogram:
-			h := m.hist
-			hv := HistogramValue{
-				Name:   m.name,
-				Help:   m.help,
-				Count:  h.count.Load(),
-				Sum:    math.Float64frombits(h.sum.Load()),
-				Bounds: h.bounds,
-				Counts: make([]int64, len(h.counts)),
+			snap.Histograms = append(snap.Histograms, histValue(m.name, m.help, m.hist))
+		case kindCounterVec:
+			v := m.cvec.v
+			for _, c := range v.snapshotChildren() {
+				snap.LabeledCounters = append(snap.LabeledCounters, LabeledCounterValue{
+					Name: m.name, Help: m.help, Labels: v.labelPairs(c), Value: c.counter.Value(),
+				})
 			}
-			if max := math.Float64frombits(h.max.Load()); hv.Count > 0 && !math.IsInf(max, -1) {
-				hv.Max = max
+		case kindGaugeVec:
+			v := m.gvec.v
+			for _, c := range v.snapshotChildren() {
+				snap.LabeledGauges = append(snap.LabeledGauges, LabeledGaugeValue{
+					Name: m.name, Help: m.help, Labels: v.labelPairs(c), Value: c.gauge.Value(),
+				})
 			}
-			for i := range h.counts {
-				hv.Counts[i] = h.counts[i].Load()
+		case kindHistogramVec:
+			v := m.hvec.v
+			for _, c := range v.snapshotChildren() {
+				snap.LabeledHistograms = append(snap.LabeledHistograms, LabeledHistogramValue{
+					Labels:         v.labelPairs(c),
+					HistogramValue: histValue(m.name, m.help, c.hist),
+				})
 			}
-			snap.Histograms = append(snap.Histograms, hv)
 		}
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
 	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
 	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	sortLabeledCounters(snap.LabeledCounters)
+	sortLabeledGauges(snap.LabeledGauges)
+	sortLabeledHistograms(snap.LabeledHistograms)
 	return snap
+}
+
+// histValue copies one histogram's live state into a snapshot value.
+func histValue(name, help string, h *Histogram) HistogramValue {
+	hv := HistogramValue{
+		Name:   name,
+		Help:   help,
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	if max := math.Float64frombits(h.max.Load()); hv.Count > 0 && !math.IsInf(max, -1) {
+		hv.Max = max
+	}
+	for i := range h.counts {
+		hv.Counts[i] = h.counts[i].Load()
+	}
+	return hv
 }

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// W3C Trace Context interop. primacyd does not implement distributed
+// tracing — spans live in the in-process flight recorder — but it honors an
+// inbound `traceparent` header so a request's spans and access-log line can
+// be joined to the caller's trace by its trace ID.
+
+// Traceparent is a parsed W3C traceparent header.
+type Traceparent struct {
+	// TraceID is the 32-char lowercase-hex trace ID.
+	TraceID string
+	// ParentID is the 16-char lowercase-hex ID of the caller's span.
+	ParentID string
+	// Sampled is bit 0 of the trace flags.
+	Sampled bool
+}
+
+// String renders the header form with version 00.
+func (tp Traceparent) String() string {
+	flags := "00"
+	if tp.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%s-%s", tp.TraceID, tp.ParentID, flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// (`version-traceid-parentid-flags`). It accepts version 00 exactly and,
+// per the spec's forward-compatibility rule, any other non-ff version whose
+// first three fields have the version-00 layout. All-zero trace or parent
+// IDs, uppercase hex, and malformed fields are rejected (ok=false) — the
+// caller then starts a fresh trace rather than propagating garbage.
+func ParseTraceparent(h string) (tp Traceparent, ok bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return Traceparent{}, false
+	}
+	version := parts[0]
+	if len(version) != 2 || !isLowerHex(version) || version == "ff" {
+		return Traceparent{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return Traceparent{}, false
+	}
+	traceID, parentID, flags := parts[1], parts[2], parts[3]
+	if len(traceID) != 32 || !isLowerHex(traceID) || allZero(traceID) {
+		return Traceparent{}, false
+	}
+	if len(parentID) != 16 || !isLowerHex(parentID) || allZero(parentID) {
+		return Traceparent{}, false
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return Traceparent{}, false
+	}
+	return Traceparent{
+		TraceID:  traceID,
+		ParentID: parentID,
+		Sampled:  hexNibble(flags[1])&1 == 1,
+	}, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func hexNibble(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// StrAttr returns the string attribute with the given key ("", false when
+// absent) — how the server digs a request ID back out of a flight-recorder
+// span.
+func (r SpanRecord) StrAttr(key string) (string, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key && a.Str != "" {
+			return a.Str, true
+		}
+	}
+	return "", false
+}
+
+// IntAttr returns the integer attribute with the given key (0, false when
+// absent).
+func (r SpanRecord) IntAttr(key string) (int64, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key && a.Str == "" {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Subtree filters recs down to the span with ID root plus every descendant,
+// preserving input order — the span tree one request left behind, as dumped
+// for a slow request. Records arrive in completion order (children before
+// parents), so membership is resolved with a parent map before filtering.
+func Subtree(recs []SpanRecord, root uint64) []SpanRecord {
+	if root == 0 {
+		return nil
+	}
+	parent := make(map[uint64]uint64, len(recs))
+	for _, r := range recs {
+		parent[r.ID] = r.Parent
+	}
+	inTree := func(id uint64) bool {
+		for hops := 0; id != 0 && hops < len(parent)+1; hops++ {
+			if id == root {
+				return true
+			}
+			id = parent[id]
+		}
+		return false
+	}
+	var out []SpanRecord
+	for _, r := range recs {
+		if inTree(r.ID) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

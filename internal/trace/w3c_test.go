@@ -1,0 +1,93 @@
+package trace
+
+import "testing"
+
+func TestParseTraceparent(t *testing.T) {
+	good := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tp, ok := ParseTraceparent(good)
+	if !ok {
+		t.Fatalf("valid header rejected")
+	}
+	if tp.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tp.ParentID != "00f067aa0ba902b7" || !tp.Sampled {
+		t.Fatalf("parsed: %+v", tp)
+	}
+	if tp.String() != good {
+		t.Fatalf("round-trip: %s", tp.String())
+	}
+	if tp, ok := ParseTraceparent(" " + good[:len(good)-1] + "0 "); !ok || tp.Sampled {
+		t.Fatalf("unsampled/whitespace variant: ok=%v tp=%+v", ok, tp)
+	}
+	// Forward compatibility: unknown version with trailing fields parses.
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Fatalf("future version rejected")
+	}
+
+	bad := []string{
+		"",
+		"00",
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // v00 must have exactly 4 fields
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // zero parent id
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",         // short trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",         // short parent id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",       // bad flags
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted invalid traceparent %q", h)
+		}
+	}
+}
+
+func TestSpanRecordAttrLookup(t *testing.T) {
+	tr := New(Config{})
+	s := tr.Start("req").AttrStr("request_id", "abc123").Attr("bytes", 42)
+	s.End(nil)
+	recs := tr.Spans()
+	if len(recs) != 1 {
+		t.Fatalf("spans = %d", len(recs))
+	}
+	if v, ok := recs[0].StrAttr("request_id"); !ok || v != "abc123" {
+		t.Fatalf("StrAttr = %q, %v", v, ok)
+	}
+	if v, ok := recs[0].IntAttr("bytes"); !ok || v != 42 {
+		t.Fatalf("IntAttr = %d, %v", v, ok)
+	}
+	if _, ok := recs[0].StrAttr("missing"); ok {
+		t.Fatalf("missing str attr reported present")
+	}
+	if _, ok := recs[0].IntAttr("request_id"); ok {
+		t.Fatalf("str attr visible through IntAttr")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := New(Config{})
+	root := tr.Start("request")
+	admit := root.Child("fairshare.wait")
+	admit.End(nil)
+	work := root.Child("compress")
+	inner := work.Child("pipeline.shard")
+	inner.End(nil)
+	work.End(nil)
+	root.End(nil)
+	other := tr.Start("unrelated")
+	other.End(nil)
+
+	recs := tr.Spans()
+	sub := Subtree(recs, root.ID())
+	if len(sub) != 4 {
+		t.Fatalf("subtree size = %d, want 4 (got %+v)", len(sub), sub)
+	}
+	for _, r := range sub {
+		if r.Name == "unrelated" {
+			t.Fatalf("unrelated span leaked into subtree")
+		}
+	}
+	if got := Subtree(recs, 0); got != nil {
+		t.Fatalf("Subtree(0) = %+v, want nil", got)
+	}
+}

@@ -27,6 +27,11 @@ func TestCommittedServerBaselineValid(t *testing.T) {
 	if !rep.Drain.Performed || !rep.Drain.Clean {
 		t.Error("committed baseline must include a clean drain rehearsal")
 	}
+	// The SLO surface must have tracked the sweep: the compress route's window
+	// counts are what /statusz and the burn-rate gauges are built from.
+	if !rep.SLO.Performed || len(rep.SLO.Routes) == 0 {
+		t.Error("committed baseline must record the server's SLO section")
+	}
 	// The whole point of the experiment: at least one sweep point must have
 	// pushed the server into explicit load shedding.
 	saturated := false
